@@ -1,0 +1,130 @@
+// Command meanshift runs the paper's case-study clustering either on a
+// single node or distributed over a TBON, on synthetic Gaussian-mixture
+// data (§3.1's workload).
+//
+// Usage:
+//
+//	meanshift -mode single -scale 16        # one node, 16 leaves' data
+//	meanshift -mode tree -spec kary:4^2     # distributed over a 2-deep tree
+//	meanshift -mode tree -spec flat:16      # distributed, 1-deep
+//
+// The tool prints the peaks found and the processing time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/meanshift"
+	"repro/internal/topology"
+)
+
+func main() {
+	mode := flag.String("mode", "tree", `"single" or "tree"`)
+	spec := flag.String("spec", "kary:4^2", "topology for -mode tree; its leaf count sets the data scale")
+	scale := flag.Int("scale", 16, "data scale (leaf count) for -mode single")
+	perCluster := flag.Int("points", 120, "raw samples per cluster per leaf")
+	clusters := flag.Int("clusters", 2, "true cluster count")
+	bandwidth := flag.Float64("bandwidth", 50, "mean-shift bandwidth (paper: 50)")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	flag.Parse()
+
+	params := meanshift.Params{Bandwidth: *bandwidth}
+	centers := meanshift.DefaultCenters(*clusters, 600)
+	gen := func(leaf int) []meanshift.Point {
+		return meanshift.Generate(meanshift.GenParams{
+			Centers:          centers,
+			Spread:           20,
+			PointsPerCluster: *perCluster,
+			CenterJitter:     5,
+			Seed:             *seed + int64(leaf),
+		})
+	}
+
+	switch *mode {
+	case "single":
+		var union []meanshift.Point
+		for i := 0; i < *scale; i++ {
+			union = append(union, gen(i)...)
+		}
+		start := time.Now()
+		peaks := meanshift.FindPeaks(union, params)
+		report(peaks, len(union), time.Since(start))
+	case "tree":
+		tree, err := topology.ParseSpec(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		leaves := tree.Leaves()
+		data := map[core.Rank][]meanshift.Point{}
+		total := 0
+		for i, l := range leaves {
+			data[l] = gen(i)
+			total += len(data[l])
+		}
+		reg := filter.NewRegistry()
+		meanshift.Register(reg, params)
+		nw, err := core.NewNetwork(core.Config{
+			Topology: tree,
+			Registry: reg,
+			OnBackEnd: func(be *core.BackEnd) error {
+				for {
+					p, err := be.Recv()
+					if err != nil {
+						return nil
+					}
+					pts, ws, peaks := meanshift.LeafResult(data[be.Rank()], params)
+					out, err := meanshift.MakePacket(p.Tag, p.StreamID, be.Rank(), pts, ws, peaks)
+					if err != nil {
+						return err
+					}
+					if err := be.SendPacket(out); err != nil {
+						return nil
+					}
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer nw.Shutdown()
+		st, err := nw.NewStream(core.StreamSpec{
+			Transformation:  meanshift.FilterName,
+			Synchronization: "waitforall",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := st.Multicast(100, ""); err != nil {
+			fatal(err)
+		}
+		res, err := st.RecvTimeout(5 * time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+		_, _, peaks, err := meanshift.ParsePacket(res)
+		if err != nil {
+			fatal(err)
+		}
+		report(peaks, total, time.Since(start))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func report(peaks []meanshift.Point, points int, d time.Duration) {
+	fmt.Printf("%d points -> %d peaks in %v\n", points, len(peaks), d)
+	for i, p := range peaks {
+		fmt.Printf("  peak %d: (%.1f, %.1f)\n", i, p.X, p.Y)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "meanshift: %v\n", err)
+	os.Exit(1)
+}

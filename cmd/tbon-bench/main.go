@@ -1,0 +1,142 @@
+// Command tbon-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index) and the ablations.
+//
+// Usage:
+//
+//	tbon-bench -exp fig4          # Figure 4: mean-shift scaling study
+//	tbon-bench -exp startup       # §2.2: 512-daemon startup (T-STARTUP)
+//	tbon-bench -exp throughput    # §2.2: front-end data rate (T-THROUGHPUT)
+//	tbon-bench -exp overhead      # §3.2: internal-node overhead (T-OVERHEAD)
+//	tbon-bench -exp sgfa          # §2.2: sub-graph folding (T-SGFA)
+//	tbon-bench -exp fanout        # ablation: fan-out sweep (open question)
+//	tbon-bench -exp sync          # ablation: synchronization policies
+//	tbon-bench -exp transport     # ablation: chan vs TCP substrate
+//	tbon-bench -exp all           # everything
+//
+// Sizes are configurable; defaults reproduce the paper's scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|all")
+	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
+	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
+	daemons := flag.Int("daemons", 0, "startup daemon count (default 512)")
+	sgfaLeaves := flag.Int("sgfa-leaves", 0, "sgfa back-end count (default 1024)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tbon-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig4", func() error {
+		cfg := experiments.DefaultFig4Config()
+		if *scales != "" {
+			cfg.Scales = nil
+			for _, f := range strings.Split(*scales, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return fmt.Errorf("bad -scales: %w", err)
+				}
+				cfg.Scales = append(cfg.Scales, n)
+			}
+		}
+		if *points > 0 {
+			cfg.PointsPerCluster = *points
+		}
+		rows, err := experiments.RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig4Table(rows))
+		return nil
+	})
+
+	run("startup", func() error {
+		cfg := experiments.DefaultStartupConfig()
+		if *daemons > 0 {
+			cfg.Daemons = *daemons
+		}
+		res, err := experiments.RunStartup(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.StartupTable(res))
+		return nil
+	})
+
+	run("throughput", func() error {
+		rows, err := experiments.RunThroughput(experiments.DefaultThroughputConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ThroughputTable(rows))
+		return nil
+	})
+
+	run("overhead", func() error {
+		rows, err := experiments.RunOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.OverheadTable(rows))
+		return nil
+	})
+
+	run("sgfa", func() error {
+		cfg := experiments.DefaultSGFAConfig()
+		if *sgfaLeaves > 0 {
+			cfg.Leaves = *sgfaLeaves
+		}
+		res, err := experiments.RunSGFA(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SGFATable(res))
+		return nil
+	})
+
+	run("fanout", func() error {
+		cfg := experiments.DefaultFanOutSweepConfig()
+		rows, err := experiments.RunFanOutSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FanOutTable(cfg.Leaves, rows))
+		return nil
+	})
+
+	run("sync", func() error {
+		rows, err := experiments.RunSyncPolicyAblation(16, 300*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SyncPolicyTable(rows))
+		return nil
+	})
+
+	run("transport", func() error {
+		rows, err := experiments.RunTransportAblation(32, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.TransportTable(32, rows))
+		return nil
+	})
+}

@@ -1,0 +1,44 @@
+// Command topgen generates and inspects TBON process-tree topologies,
+// mirroring MRNet's topology-generator utility.
+//
+// Usage:
+//
+//	topgen -spec kary:16^2            # balanced: fan-out 16, depth 2
+//	topgen -spec flat:512             # 1-deep tree
+//	topgen -spec knomial:2^5          # binomial tree of dimension 5
+//	topgen -spec balanced:324,18      # 324 back-ends, max fan-out 18
+//	topgen -spec "0:1,2;1:3,4"        # explicit tree
+//
+// It prints the tree's statistics and, with -print, the explicit spec that
+// reproduces it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	spec := flag.String("spec", "kary:16^2", "topology specification")
+	printTree := flag.Bool("print", false, "print the explicit parent:children spec")
+	flag.Parse()
+
+	tree, err := topology.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topgen: %v\n", err)
+		os.Exit(1)
+	}
+	s := tree.Stats()
+	fmt.Printf("spec:        %s\n", *spec)
+	fmt.Printf("processes:   %d\n", s.Nodes)
+	fmt.Printf("back-ends:   %d\n", s.Leaves)
+	fmt.Printf("internal:    %d (%.2f%% overhead)\n", s.Internal, 100*s.Overhead)
+	fmt.Printf("depth:       %d\n", s.Depth)
+	fmt.Printf("max fan-out: %d\n", s.MaxFanOut)
+	if *printTree {
+		fmt.Println(tree.String())
+	}
+}

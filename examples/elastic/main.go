@@ -1,0 +1,77 @@
+// Elastic overlay: the paper's dynamic topology model in action. A
+// monitoring overlay starts with 8 hosts; 8 more join while it runs
+// (AttachBackEnd), and each subsequent collection round is a fresh stream
+// over whatever back-ends currently exist — the count at the front-end
+// grows as the fleet does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	// Start with 2 communication processes and 2 hosts under each.
+	tree, err := topology.ParseSpec("kary:2^2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw, err := core.NewNetwork(core.Config{
+		Topology: tree,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%f", 1.0); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	collect := func() int64 {
+		st, err := nw.NewStream(core.StreamSpec{
+			Transformation:  "count",
+			Synchronization: "waitforall",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		if err := st.Multicast(core.TagFirstApplication, ""); err != nil {
+			log.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, _ := p.Int(0)
+		return n
+	}
+
+	fmt.Printf("round 0: %d hosts reporting\n", collect())
+
+	// The fleet grows: attach 2 new hosts under each communication process.
+	for round := 1; round <= 4; round++ {
+		for _, comm := range []core.Rank{1, 2} {
+			if _, err := nw.AttachBackEnd(comm); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("round %d: %d hosts reporting (+2 attached)\n", round, collect())
+	}
+	s := nw.Tree().Stats()
+	fmt.Printf("final topology: %d processes, %d back-ends, depth %d\n",
+		s.Nodes, s.Leaves, s.Depth)
+}

@@ -1,0 +1,105 @@
+// Distributed histogram: 256 back-ends each histogram their local latency
+// samples; the tree merges bin-wise, so the front-end receives the exact
+// global distribution in one constant-size packet — "creating data
+// histograms", one of the complex tree computations the paper lists.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/histogram"
+	"repro/internal/topology"
+)
+
+func main() {
+	tree, err := topology.ParseSpec("balanced:256,8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const perLeaf = 2000
+
+	reg := filter.NewRegistry()
+	histogram.Register(reg)
+
+	nw, err := core.NewNetwork(core.Config{
+		Topology: tree,
+		Registry: reg,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				// Synthetic per-host service latencies: log-normal-ish with
+				// a host-specific shift.
+				h, err := histogram.New(0, 50, 50)
+				if err != nil {
+					return err
+				}
+				rng := rand.New(rand.NewSource(int64(be.Rank())))
+				base := 2 + float64(be.Rank()%7)
+				for i := 0; i < perLeaf; i++ {
+					h.Add(base + rng.ExpFloat64()*4)
+				}
+				out, err := h.ToPacket(p.Tag, p.StreamID, be.Rank())
+				if err != nil {
+					return err
+				}
+				if err := be.SendPacket(out); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	st, err := nw.NewStream(core.StreamSpec{
+		Transformation:  histogram.FilterName,
+		Synchronization: "waitforall",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := st.Multicast(core.TagFirstApplication, ""); err != nil {
+		log.Fatal(err)
+	}
+	p, err := st.RecvTimeout(time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := histogram.FromPacket(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("global latency distribution over %d hosts (%d samples) in %v\n",
+		len(tree.Leaves()), h.Count(), time.Since(start))
+	fmt.Printf("p50=%.1fms p90=%.1fms p99=%.1fms (packet: %d bytes)\n",
+		h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), p.EncodedSize())
+
+	// A terminal sparkline of the distribution.
+	maxBin := int64(1)
+	for _, b := range h.Bins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	width := (h.Max - h.Min) / float64(len(h.Bins))
+	for i, b := range h.Bins {
+		if i%2 == 1 {
+			continue // halve the rows for compactness
+		}
+		bar := strings.Repeat("#", int(40*b/maxBin))
+		fmt.Printf("%5.1fms %7d %s\n", h.Min+width*float64(i), b, bar)
+	}
+}

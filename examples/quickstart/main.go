@@ -1,0 +1,74 @@
+// Quickstart: build a two-level TBON over in-process links, open streams
+// with the built-in reduction filters, and run a few aggregation rounds —
+// the "hello, world" of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	// A 2-deep balanced tree: front-end, 4 communication processes,
+	// 16 back-ends.
+	tree, err := topology.ParseSpec("kary:4^2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every back-end answers each request with one observation; here its
+	// own rank so the aggregates are easy to check by eye.
+	nw, err := core.NewNetwork(core.Config{
+		Topology: tree,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil // network shut down
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%f", float64(be.Rank())); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	// One stream per built-in reduction, all over the same tree, all
+	// concurrent — the filters execute inside the communication processes.
+	for _, tform := range []string{"sum", "min", "max", "avg", "count"} {
+		st, err := nw.NewStream(core.StreamSpec{
+			Transformation:  tform,
+			Synchronization: "waitforall",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Multicast(core.TagFirstApplication, ""); err != nil {
+			log.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch tform {
+		case "avg":
+			n, _ := p.Int(0)
+			mean, _ := p.Float(1)
+			fmt.Printf("%-5s -> %.2f over %d back-ends\n", tform, mean, n)
+		case "count":
+			n, _ := p.Int(0)
+			fmt.Printf("%-5s -> %d\n", tform, n)
+		default:
+			v, _ := p.Float(0)
+			fmt.Printf("%-5s -> %.1f\n", tform, v)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package clockskew implements the tree-based clock-skew detection the
+// paper cites as one of MRNet's complex filter computations. Each parent
+// measures the clock offset to each child with NTP-style probe exchanges;
+// offsets then compose along tree paths, so every node's skew relative to
+// the front-end is known after one parallel wave of per-level probes —
+// instead of the front-end serially probing every daemon, which is what
+// made flat-tool startup linear in the daemon count.
+package clockskew
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Sample is one NTP-style probe exchange. All values are readings of the
+// respective local clocks:
+//
+//	T0  parent sends the probe           (parent clock)
+//	T1  child receives the probe         (child clock)
+//	T2  child sends the response         (child clock)
+//	T3  parent receives the response     (parent clock)
+type Sample struct {
+	T0, T1, T2, T3 time.Duration
+}
+
+// Offset estimates the child clock minus the parent clock for this sample,
+// assuming symmetric network delay: ((T1-T0) + (T2-T3)) / 2.
+func (s Sample) Offset() time.Duration {
+	return ((s.T1 - s.T0) + (s.T2 - s.T3)) / 2
+}
+
+// RTT returns the probe's round-trip time excluding child processing.
+func (s Sample) RTT() time.Duration {
+	return (s.T3 - s.T0) - (s.T2 - s.T1)
+}
+
+// EstimateOffset combines several samples into one offset estimate by
+// taking the sample with the smallest RTT (the standard estimator: minimal
+// queueing means minimal asymmetry error). It returns 0 for no samples.
+func EstimateOffset(samples []Sample) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.RTT() < best.RTT() {
+			best = s
+		}
+	}
+	return best.Offset()
+}
+
+// TreeSkews composes per-edge offsets into per-node skews relative to the
+// root: skew(root) = 0 and skew(child) = skew(parent) + edge(child), where
+// edge(child) is the measured child-minus-parent offset.
+func TreeSkews(tree *topology.Tree, edge map[topology.Rank]time.Duration) map[topology.Rank]time.Duration {
+	out := make(map[topology.Rank]time.Duration, tree.Len())
+	out[0] = 0
+	// Ranks are not necessarily level-ordered (k-nomial trees); walk BFS.
+	queue := []topology.Rank{0}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, c := range tree.Children(r) {
+			out[c] = out[r] + edge[c]
+			queue = append(queue, c)
+		}
+	}
+	return out
+}
+
+// Oracle assigns every node a true clock offset (relative to the root) and
+// simulates probe exchanges with configurable network delay and jitter.
+// It stands in for the paper's physical cluster, whose machines had real,
+// unknown skews.
+type Oracle struct {
+	True   map[topology.Rank]time.Duration
+	rtt    time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+}
+
+// NewOracle draws a true offset in ±maxSkew for every non-root node.
+// Probes experience one-way delay rtt/2 plus uniform jitter in [0, jitter).
+func NewOracle(tree *topology.Tree, maxSkew, rtt, jitter time.Duration, seed int64) *Oracle {
+	rng := rand.New(rand.NewSource(seed))
+	o := &Oracle{
+		True:   map[topology.Rank]time.Duration{0: 0},
+		rtt:    rtt,
+		jitter: jitter,
+		rng:    rng,
+	}
+	for r := 1; r < tree.Len(); r++ {
+		o.True[topology.Rank(r)] = time.Duration(rng.Int63n(int64(2*maxSkew))) - maxSkew
+	}
+	return o
+}
+
+// Probe simulates one probe exchange from parent to child starting at the
+// given true (global) time.
+func (o *Oracle) Probe(parent, child topology.Rank, at time.Duration) Sample {
+	up := o.rtt/2 + o.delayJitter()
+	down := o.rtt/2 + o.delayJitter()
+	procTime := time.Microsecond
+	po, co := o.True[parent], o.True[child]
+	t0 := at + po      // parent clock at send
+	t1 := at + up + co // child clock at receive
+	t2 := at + up + procTime + co
+	t3 := at + up + procTime + down + po
+	return Sample{T0: t0, T1: t1, T2: t2, T3: t3}
+}
+
+func (o *Oracle) delayJitter() time.Duration {
+	if o.jitter <= 0 {
+		return 0
+	}
+	return time.Duration(o.rng.Int63n(int64(o.jitter)))
+}
+
+// DetectTree runs the tree-based algorithm against the oracle: every
+// parent probes each child n times (conceptually in parallel across the
+// tree), offsets are estimated per edge, and TreeSkews composes them.
+// It returns the estimated skews and the critical-path probe time — the
+// simulated wall time of the detection, which is what the startup
+// experiment measures. Probing a node's children is sequential on the
+// parent (one NIC) but concurrent across parents; the critical path is
+// therefore the max over root-to-parent paths of the per-node probe costs.
+func (o *Oracle) DetectTree(tree *topology.Tree, n int) (map[topology.Rank]time.Duration, time.Duration) {
+	edge := make(map[topology.Rank]time.Duration, tree.Len())
+	// Per-node serial probe cost, then critical path over the tree.
+	cost := make(map[topology.Rank]time.Duration, tree.Len())
+	for r := 0; r < tree.Len(); r++ {
+		rank := topology.Rank(r)
+		var at time.Duration
+		for _, c := range tree.Children(rank) {
+			var samples []Sample
+			for i := 0; i < n; i++ {
+				s := o.Probe(rank, c, at)
+				at += s.T3 - s.T0 // serial probes on this parent
+				samples = append(samples, s)
+			}
+			edge[c] = EstimateOffset(samples)
+		}
+		cost[rank] = at
+	}
+	var critical func(r topology.Rank) time.Duration
+	critical = func(r topology.Rank) time.Duration {
+		var worst time.Duration
+		for _, c := range tree.Children(r) {
+			if d := critical(c); d > worst {
+				worst = d
+			}
+		}
+		return cost[r] + worst
+	}
+	return TreeSkews(tree, edge), critical(0)
+}
+
+// DetectFlat simulates the pre-MRNet approach: the front-end itself probes
+// every node serially, so the detection time is the sum of all probe costs.
+func (o *Oracle) DetectFlat(nodes []topology.Rank, n int) (map[topology.Rank]time.Duration, time.Duration) {
+	out := map[topology.Rank]time.Duration{0: 0}
+	var at time.Duration
+	for _, r := range nodes {
+		var samples []Sample
+		for i := 0; i < n; i++ {
+			s := o.Probe(0, r, at)
+			at += s.T3 - s.T0
+			samples = append(samples, s)
+		}
+		out[r] = EstimateOffset(samples)
+	}
+	return out, at
+}

@@ -1,0 +1,152 @@
+package clockskew
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestSampleOffsetAndRTT(t *testing.T) {
+	// Symmetric 1ms each way, child 5ms ahead, no processing delay.
+	s := Sample{
+		T0: 0,
+		T1: 1*time.Millisecond + 5*time.Millisecond,
+		T2: 1*time.Millisecond + 5*time.Millisecond,
+		T3: 2 * time.Millisecond,
+	}
+	if got := s.Offset(); got != 5*time.Millisecond {
+		t.Errorf("Offset = %v, want 5ms", got)
+	}
+	if got := s.RTT(); got != 2*time.Millisecond {
+		t.Errorf("RTT = %v, want 2ms", got)
+	}
+}
+
+func TestEstimateOffsetPicksMinRTT(t *testing.T) {
+	// The low-RTT sample has the accurate offset; the high-RTT one is
+	// polluted by asymmetric queueing.
+	good := Sample{T0: 0, T1: 6 * time.Millisecond, T2: 6 * time.Millisecond, T3: 2 * time.Millisecond}
+	bad := Sample{T0: 0, T1: 25 * time.Millisecond, T2: 25 * time.Millisecond, T3: 30 * time.Millisecond}
+	got := EstimateOffset([]Sample{bad, good, bad})
+	if got != good.Offset() {
+		t.Errorf("EstimateOffset = %v, want %v", got, good.Offset())
+	}
+	if EstimateOffset(nil) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+}
+
+func TestTreeSkewsComposition(t *testing.T) {
+	tree, err := topology.ParseSpec("0:1,2;1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := map[topology.Rank]time.Duration{
+		1: 10 * time.Millisecond,
+		2: -4 * time.Millisecond,
+		3: 7 * time.Millisecond,
+	}
+	skews := TreeSkews(tree, edge)
+	if skews[0] != 0 {
+		t.Errorf("root skew = %v", skews[0])
+	}
+	if skews[3] != 17*time.Millisecond {
+		t.Errorf("skew(3) = %v, want 17ms (10+7)", skews[3])
+	}
+	if skews[2] != -4*time.Millisecond {
+		t.Errorf("skew(2) = %v", skews[2])
+	}
+}
+
+func TestOracleDetectionAccuracy(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:4^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(tree, 50*time.Millisecond, time.Millisecond, 100*time.Microsecond, 42)
+	est, _ := o.DetectTree(tree, 8)
+	for r := 1; r < tree.Len(); r++ {
+		rank := topology.Rank(r)
+		errd := est[rank] - o.True[rank]
+		if errd < 0 {
+			errd = -errd
+		}
+		// Per-hop error is bounded by half the jitter; two hops compound.
+		if errd > 2*100*time.Microsecond {
+			t.Errorf("rank %d: estimated %v, true %v (error %v)", r, est[rank], o.True[rank], errd)
+		}
+	}
+}
+
+func TestFlatDetectionAccuracy(t *testing.T) {
+	tree, _ := topology.ParseSpec("flat:16")
+	o := NewOracle(tree, 50*time.Millisecond, time.Millisecond, 50*time.Microsecond, 7)
+	est, _ := o.DetectFlat(tree.Leaves(), 8)
+	for _, l := range tree.Leaves() {
+		errd := est[l] - o.True[l]
+		if errd < 0 {
+			errd = -errd
+		}
+		if errd > 100*time.Microsecond {
+			t.Errorf("leaf %d: estimated %v, true %v", l, est[l], o.True[l])
+		}
+	}
+}
+
+// TestTreeBeatsFlatAtScale is the startup-experiment kernel: the tree's
+// critical-path probe time must be far below the flat version's serial sum
+// at 512 daemons, in the ballpark of the paper's 3.4x startup speedup
+// (the probe phase itself parallelizes even better than 3.4x; process
+// launch overheads dilute it in the full startup measurement).
+func TestTreeBeatsFlatAtScale(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:8^3") // 512 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(tree, 100*time.Millisecond, time.Millisecond, 100*time.Microsecond, 1)
+	_, flatTime := o.DetectFlat(tree.Leaves(), 4)
+	_, treeTime := o.DetectTree(tree, 4)
+	if treeTime >= flatTime {
+		t.Fatalf("tree %v not faster than flat %v", treeTime, flatTime)
+	}
+	speedup := float64(flatTime) / float64(treeTime)
+	if speedup < 3 {
+		t.Errorf("speedup = %.1fx, want >= 3x at 512 daemons", speedup)
+	}
+}
+
+// Property: with zero jitter the estimator is exact regardless of skew.
+func TestQuickExactWithoutJitter(t *testing.T) {
+	f := func(seed int64, skewMs uint16) bool {
+		tree, err := topology.ParseSpec("kary:3^2")
+		if err != nil {
+			return false
+		}
+		maxSkew := time.Duration(int64(skewMs)+1) * time.Millisecond
+		o := NewOracle(tree, maxSkew, time.Millisecond, 0, seed)
+		est, _ := o.DetectTree(tree, 1)
+		for r := 1; r < tree.Len(); r++ {
+			rank := topology.Rank(r)
+			// Allow the integer division's rounding error.
+			d := est[rank] - o.True[rank]
+			if d < -time.Microsecond || d > time.Microsecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDetectTree512(b *testing.B) {
+	tree, _ := topology.ParseSpec("kary:8^3")
+	o := NewOracle(tree, 100*time.Millisecond, time.Millisecond, 100*time.Microsecond, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.DetectTree(tree, 4)
+	}
+}

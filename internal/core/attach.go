@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// AttachBackEnd implements the paper's dynamic topology model: "back-end
+// processes may join after the internal tree has been instantiated." It
+// creates a new back-end as a child of the given communication process on
+// a running network and starts its handler.
+//
+// The new back-end participates in streams created *after* it attaches
+// (existing streams' membership was fixed at creation, as in MRNet).
+// Restrictions: chan transport only, and the parent must be an internal
+// communication process (attachments to the front-end or to a leaf are
+// rejected).
+func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
+	if nw.cfg.Transport != ChanTransport {
+		return topology.NoRank, fmt.Errorf("core: AttachBackEnd requires the chan transport")
+	}
+
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return topology.NoRank, ErrShutdown
+	}
+	old := nw.tree
+	pn := old.Node(parent)
+	if pn == nil {
+		nw.mu.Unlock()
+		return topology.NoRank, fmt.Errorf("core: no such parent %d", parent)
+	}
+	if pn.IsRoot() || pn.IsLeaf() {
+		nw.mu.Unlock()
+		return topology.NoRank, fmt.Errorf("core: parent %d must be an internal communication process", parent)
+	}
+	// Build the successor topology as a fresh immutable tree; running
+	// nodes read the network's tree pointer, never mutate it.
+	parents := make([]Rank, old.Len()+1)
+	for r := 0; r < old.Len(); r++ {
+		parents[r] = old.Parent(Rank(r))
+	}
+	parents[old.Len()] = parent
+	newTree, err := topology.FromParents(parents)
+	if err != nil {
+		nw.mu.Unlock()
+		return topology.NoRank, fmt.Errorf("core: attaching back-end: %w", err)
+	}
+	newRank := Rank(old.Len())
+	nw.tree = newTree
+	nw.mu.Unlock()
+
+	parentEnd, childEnd := transport.NewPair(nw.cfg.ChanBuf)
+
+	// Hand the new link to the parent's event loop; the send completes
+	// only once the loop has installed the child, so a stream created
+	// after this call observes the new topology end to end.
+	n := nw.nodes[parent-1]
+	n.attachCh <- parentEnd
+
+	be := &BackEnd{
+		nw:    nw,
+		rank:  newRank,
+		ep:    &transport.Endpoint{Rank: newRank, Parent: childEnd},
+		inbox: make(chan *packet.Packet, 64),
+	}
+	nw.wg.Add(1)
+	go func() {
+		defer nw.wg.Done()
+		be.run()
+	}()
+	return newRank, nil
+}
+
+// treeNow returns the current topology snapshot. Trees are immutable;
+// AttachBackEnd replaces the pointer.
+func (nw *Network) treeNow() *topology.Tree {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.tree
+}

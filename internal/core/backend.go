@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// BackEnd is the handle application code uses at a leaf of the overlay.
+// Its methods are safe to call from the handler goroutine; Recv returns
+// io.EOF once the network shuts down, at which point the handler should
+// return.
+type BackEnd struct {
+	nw    *Network
+	rank  Rank
+	ep    *transport.Endpoint
+	inbox chan *packet.Packet
+}
+
+// Rank returns the back-end's overlay rank.
+func (be *BackEnd) Rank() Rank { return be.rank }
+
+// Recv blocks for the next downstream packet addressed to this back-end
+// (multicast data on any stream it belongs to). It returns io.EOF when the
+// network is shutting down.
+func (be *BackEnd) Recv() (*packet.Packet, error) {
+	p, ok := <-be.inbox
+	if !ok {
+		return nil, io.EOF
+	}
+	return p, nil
+}
+
+// Send emits an upstream packet on the given stream. The packet enters the
+// filter pipeline at the back-end's parent and is reduced on its way to the
+// front-end.
+func (be *BackEnd) Send(streamID uint32, tag int32, format string, values ...any) error {
+	p, err := packet.New(tag, streamID, be.rank, format, values...)
+	if err != nil {
+		return err
+	}
+	return be.SendPacket(p)
+}
+
+// SendPacket emits a pre-built packet upstream, re-stamping its stream and
+// source identity is NOT performed: the caller controls the header.
+func (be *BackEnd) SendPacket(p *packet.Packet) error {
+	if err := be.ep.Parent.Send(p); err != nil {
+		return fmt.Errorf("core: back-end %d send: %w", be.rank, err)
+	}
+	return nil
+}
+
+// run is the back-end's link loop: it launches the application handler,
+// delivers downstream data to it, and tears down at shutdown.
+func (be *BackEnd) run() {
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		if h := be.nw.cfg.OnBackEnd; h != nil {
+			if err := h(be); err != nil {
+				be.nw.recordBackEndErr(fmt.Errorf("back-end %d: %w", be.rank, err))
+			}
+		}
+	}()
+
+	for {
+		p, err := be.ep.Parent.Recv()
+		if err != nil {
+			break
+		}
+		if p.Tag == packet.TagControl {
+			op, err := ctrlOp(p)
+			if err != nil {
+				continue
+			}
+			if op == opShutdown {
+				break
+			}
+			// Stream management is the communication tree's concern; a
+			// back-end only needs the data packets themselves.
+			continue
+		}
+		be.nw.metrics.PacketsDown.Add(1)
+		be.inbox <- p
+	}
+	close(be.inbox)
+	<-handlerDone
+	_ = be.ep.Parent.Close()
+}

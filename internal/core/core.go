@@ -1,0 +1,224 @@
+// Package core implements the TBON computational model that is the paper's
+// primary contribution: a tree of communication processes connecting an
+// application front-end (the tree root) to application back-ends (the
+// leaves) via FIFO channels, with stateful filters executing at every level
+// to synchronize and transform application-level packets in flight.
+//
+// The engine instantiates one goroutine-driven node per topology rank.
+// Links between nodes come from a pluggable transport fabric: in-process
+// channels (the default, suitable for simulating overlays of thousands of
+// nodes on one machine) or real TCP sockets.
+//
+// Usage mirrors MRNet: the front-end owns a Network, opens Streams over
+// subsets of back-ends naming a transformation filter and a synchronization
+// filter, multicasts requests downstream, and receives reduced results
+// upstream. Back-end application code runs in a per-leaf handler.
+//
+//	nw, _ := core.NewNetwork(core.Config{
+//	    Topology: tree,
+//	    OnBackEnd: func(be *core.BackEnd) error {
+//	        for {
+//	            p, err := be.Recv()
+//	            if err != nil { return nil }
+//	            be.Send(p.StreamID, p.Tag, "%f", localValue)
+//	        }
+//	    },
+//	})
+//	st, _ := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+//	st.Multicast(tag, "%d", int64(1))
+//	result, _ := st.Recv()
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Rank aliases the overlay rank type.
+type Rank = packet.Rank
+
+// TagFirstApplication re-exports the first packet tag available to
+// applications; lower tags are reserved for control traffic.
+const TagFirstApplication = packet.TagFirstApplication
+
+// TransportKind selects the link substrate for a Network.
+type TransportKind int
+
+const (
+	// ChanTransport wires nodes with in-process channels (default).
+	ChanTransport TransportKind = iota
+	// TCPTransport wires nodes with loopback TCP sockets.
+	TCPTransport
+)
+
+// Config describes a Network.
+type Config struct {
+	// Topology is the process tree; required.
+	Topology *topology.Tree
+	// Registry supplies filters by name. Nil means filter.NewRegistry().
+	Registry *filter.Registry
+	// Transport selects the link substrate; default ChanTransport.
+	Transport TransportKind
+	// ChanBuf overrides the per-direction channel buffer (0 = default).
+	ChanBuf int
+	// WrapFabric, if non-nil, is applied to the fabric before nodes start;
+	// used to interpose the simnet cost model on every link.
+	WrapFabric func([]*transport.Endpoint)
+	// OnBackEnd runs application code at each back-end in its own
+	// goroutine. May be nil for networks driven purely by multicast tests.
+	OnBackEnd func(be *BackEnd) error
+}
+
+// Metrics exposes cheap global counters for tests and benchmarks.
+type Metrics struct {
+	PacketsUp    atomic.Int64 // upstream data packets entering nodes
+	PacketsDown  atomic.Int64 // downstream data packets entering nodes
+	Batches      atomic.Int64 // synchronizer batches transformed
+	FilterErrors atomic.Int64 // transformation errors (packets dropped)
+}
+
+// Network is a running TBON instance. The front-end API (NewStream,
+// Shutdown) is safe for concurrent use.
+type Network struct {
+	cfg      Config
+	tree     *topology.Tree
+	registry *filter.Registry
+	metrics  Metrics
+
+	fe    *feState
+	nodes []*node
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	streams  map[uint32]*Stream
+	nextID   uint32
+	shutdown bool
+	beErrs   []error
+}
+
+// ErrShutdown is returned by front-end operations on a stopped network.
+var ErrShutdown = errors.New("core: network is shut down")
+
+// NewNetwork builds the fabric, starts every overlay node, and launches
+// back-end handlers. The caller must eventually call Shutdown.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("core: Config.Topology is required")
+	}
+	if cfg.Topology.Len() < 2 {
+		return nil, errors.New("core: topology needs at least one back-end")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = filter.NewRegistry()
+	}
+	var eps []*transport.Endpoint
+	switch cfg.Transport {
+	case ChanTransport:
+		eps = transport.NewChanFabric(cfg.Topology, cfg.ChanBuf)
+	case TCPTransport:
+		var err error
+		eps, err = transport.NewTCPFabric(cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("core: building TCP fabric: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown transport %d", cfg.Transport)
+	}
+	if cfg.WrapFabric != nil {
+		cfg.WrapFabric(eps)
+	}
+
+	nw := &Network{
+		cfg:      cfg,
+		tree:     cfg.Topology,
+		registry: reg,
+		streams:  map[uint32]*Stream{},
+		nextID:   1,
+	}
+	nw.fe = &feState{nw: nw, ep: eps[0]}
+
+	// Start communication processes and back-ends.
+	for r := 1; r < cfg.Topology.Len(); r++ {
+		tn := cfg.Topology.Node(Rank(r))
+		n := &node{
+			nw:       nw,
+			rank:     Rank(r),
+			ep:       eps[r],
+			leaf:     tn.IsLeaf(),
+			attachCh: make(chan transport.Link),
+		}
+		nw.nodes = append(nw.nodes, n)
+		nw.wg.Add(1)
+		if n.leaf {
+			be := &BackEnd{nw: nw, rank: Rank(r), ep: eps[r], inbox: make(chan *packet.Packet, 64)}
+			n.be = be
+			go func() {
+				defer nw.wg.Done()
+				be.run()
+			}()
+		} else {
+			go func() {
+				defer nw.wg.Done()
+				n.run()
+			}()
+		}
+	}
+
+	// Start the front-end receive loop.
+	nw.wg.Add(1)
+	go func() {
+		defer nw.wg.Done()
+		nw.fe.run()
+	}()
+	return nw, nil
+}
+
+// Tree returns the network's topology.
+func (nw *Network) Tree() *topology.Tree { return nw.treeNow() }
+
+// Metrics returns the network's counters.
+func (nw *Network) Metrics() *Metrics { return &nw.metrics }
+
+// Shutdown gracefully stops the overlay: it announces shutdown downstream,
+// waits for every node to drain and exit, and closes all streams. It
+// returns the first back-end handler error, if any.
+func (nw *Network) Shutdown() error {
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.shutdown = true
+	nw.mu.Unlock()
+
+	// Announce shutdown to every child subtree.
+	down := packet.MustNew(packet.TagControl, 0, 0, ctrlShutdownFormat, int64(opShutdown))
+	for _, l := range nw.fe.ep.Children {
+		_ = l.Send(down) // a dead child is already gone; keep going
+	}
+	nw.wg.Wait()
+
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, st := range nw.streams {
+		st.closeRecv()
+	}
+	if len(nw.beErrs) > 0 {
+		return nw.beErrs[0]
+	}
+	return nil
+}
+
+func (nw *Network) recordBackEndErr(err error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.beErrs = append(nw.beErrs, err)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/packet"
+)
+
+// TestFilterErrorsAreContained injects a transformation that fails on
+// every batch: the network must survive, count the errors, and keep other
+// streams working.
+func TestFilterErrorsAreContained(t *testing.T) {
+	reg := filter.NewRegistry()
+	reg.RegisterTransformation("explode", func() filter.Transformation {
+		return filter.TransformFunc(func(in []*packet.Packet) ([]*packet.Packet, error) {
+			return nil, errors.New("kaboom")
+		})
+	})
+	tree := mustTree(t, "kary:2^2")
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		Registry: reg,
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%f", 1.0); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	bad, err := nw.NewStream(StreamSpec{Transformation: "explode", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.RecvTimeout(300 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("exploding stream delivered: %v", err)
+	}
+	if nw.Metrics().FilterErrors.Load() == 0 {
+		t.Error("FilterErrors not counted")
+	}
+
+	// A healthy stream on the same damaged network still works.
+	good, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := good.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 4 {
+		t.Errorf("healthy stream sum = %g, want 4", v)
+	}
+}
+
+// TestBackEndCrashMidStream: a back-end handler returning early (a crash)
+// must not wedge shutdown or the other members' streams under the timeout
+// policy.
+func TestBackEndCrashMidStream(t *testing.T) {
+	reg := filter.NewRegistry()
+	reg.RegisterSynchronizer("timeout", func() filter.Synchronizer {
+		return filter.NewTimeOut(50 * time.Millisecond)
+	})
+	tree := mustTree(t, "kary:2^2")
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		Registry: reg,
+		OnBackEnd: func(be *BackEnd) error {
+			if be.Rank() == 3 {
+				return nil // crashes immediately
+			}
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%f", 1.0); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "timeout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 3 {
+		t.Errorf("partial sum = %g, want 3 (crashed member missing)", v)
+	}
+}
+
+// TestConcurrentStreamsStress drives many overlapping streams with
+// concurrent multicasters; every stream must see its own correct results.
+func TestConcurrentStreamsStress(t *testing.T) {
+	tree := mustTree(t, "kary:4^2")
+	nw := echoValue(t, tree, ChanTransport)
+	defer nw.Shutdown()
+	const streams = 8
+	const rounds = 25
+	var want float64
+	for _, l := range tree.Leaves() {
+		want += float64(l)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if err := st.Multicast(tagQuery, ""); err != nil {
+					errCh <- fmt.Errorf("stream %d round %d: %w", s, r, err)
+					return
+				}
+				p, err := st.RecvTimeout(30 * time.Second)
+				if err != nil {
+					errCh <- fmt.Errorf("stream %d round %d: %w", s, r, err)
+					return
+				}
+				if v, _ := p.Float(0); v != want {
+					errCh <- fmt.Errorf("stream %d round %d: sum %g, want %g", s, r, v, want)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestStreamFIFOOrder: per-stream results arrive in request order under
+// waitforall (FIFO channels + one batch per round).
+func TestStreamFIFOOrder(t *testing.T) {
+	tree := mustTree(t, "kary:2^2")
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				v, _ := p.Int(0)
+				if err := be.Send(p.StreamID, p.Tag, "%d", v); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "max", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		if err := st.Multicast(tagQuery, "%d", int64(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if v, _ := p.Int(0); v != int64(r) {
+			t.Fatalf("round %d delivered %d: FIFO order violated", r, v)
+		}
+	}
+}
+
+// TestRecvAfterCloseDrains: packets already delivered to the stream buffer
+// remain readable after Close.
+func TestRecvAfterCloseDrains(t *testing.T) {
+	tree := mustTree(t, "flat:2")
+	nw := echoValue(t, tree, ChanTransport)
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the result is buffered, then close.
+	p, err := st.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 3 {
+		t.Errorf("sum = %g", v)
+	}
+	st.Close()
+}

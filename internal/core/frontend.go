@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// feState is the front-end's half of the overlay: it owns the root's links,
+// runs the root's receive loop (the last level of filtering), and delivers
+// fully reduced packets to Stream receivers.
+type feState struct {
+	nw *Network
+	ep *transport.Endpoint
+
+	mu     sync.Mutex // guards states; written by NewStream, read by run loop
+	states map[uint32]*streamState
+}
+
+func (fe *feState) state(id uint32) *streamState {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.states == nil {
+		return nil
+	}
+	return fe.states[id]
+}
+
+func (fe *feState) setState(id uint32, ss *streamState) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.states == nil {
+		fe.states = map[uint32]*streamState{}
+	}
+	fe.states[id] = ss
+}
+
+func (fe *feState) dropState(id uint32) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	delete(fe.states, id)
+}
+
+// run is the front-end receive loop: the root-level synchronizer and
+// transformation execute here, and results are handed to Stream.Recv.
+func (fe *feState) run() {
+	inbox := make(chan inMsg, 4*(len(fe.ep.Children)+1))
+	for i, c := range fe.ep.Children {
+		go readLink(c, i, inbox)
+	}
+	live := len(fe.ep.Children)
+	for live > 0 {
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if d := fe.earliestDeadline(); !d.IsZero() {
+			wait := time.Until(d)
+			if wait <= 0 {
+				fe.pollStreams()
+				continue
+			}
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case m := <-inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			if m.p == nil {
+				live--
+				continue
+			}
+			fe.handleUp(m.child, m.p)
+		case <-timerC:
+			fe.pollStreams()
+		}
+	}
+	// All children gone: final drain so no synchronized data is lost.
+	fe.mu.Lock()
+	states := make([]*streamState, 0, len(fe.states))
+	for _, ss := range fe.states {
+		states = append(states, ss)
+	}
+	fe.mu.Unlock()
+	for _, ss := range states {
+		fe.flushBatches(ss, ss.drain())
+	}
+}
+
+func (fe *feState) handleUp(child int, p *packet.Packet) {
+	if p.Tag == packet.TagControl {
+		return // no upstream control traffic today
+	}
+	fe.nw.metrics.PacketsUp.Add(1)
+	ss := fe.state(p.StreamID)
+	if ss == nil {
+		// Unknown (e.g. just-closed) stream: drop; there is no receiver.
+		return
+	}
+	fe.flushBatches(ss, ss.add(child, p))
+}
+
+func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		fe.nw.metrics.Batches.Add(1)
+		out, err := ss.tform.Transform(batch)
+		if err != nil {
+			fe.nw.metrics.FilterErrors.Add(1)
+			continue
+		}
+		fe.nw.mu.Lock()
+		st := fe.nw.streams[ss.id]
+		fe.nw.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		for _, q := range out {
+			st.deliver(q.WithStream(ss.id).WithSrc(0))
+		}
+	}
+}
+
+func (fe *feState) pollStreams() {
+	now := time.Now()
+	fe.mu.Lock()
+	states := make([]*streamState, 0, len(fe.states))
+	for _, ss := range fe.states {
+		states = append(states, ss)
+	}
+	fe.mu.Unlock()
+	for _, ss := range states {
+		fe.flushBatches(ss, ss.poll(now))
+	}
+}
+
+func (fe *feState) earliestDeadline() time.Time {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	var d time.Time
+	for _, ss := range fe.states {
+		if dd := ss.deadline(); !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
+			d = dd
+		}
+	}
+	return d
+}

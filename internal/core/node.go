@@ -1,0 +1,308 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// inMsg is one unit of work for a node's event loop: a packet arriving on
+// the parent link (child == -1) or on the child link with the given slot.
+// A nil packet signals that the link reached EOF.
+type inMsg struct {
+	child int
+	p     *packet.Packet
+}
+
+// node is a communication process (or the shell around a back-end, which
+// has its own loop in backend.go).
+type node struct {
+	nw   *Network
+	rank Rank
+	ep   *transport.Endpoint
+	leaf bool
+	be   *BackEnd
+
+	streams      map[uint32]*streamState
+	shuttingDown bool
+	liveChildren int
+
+	// attachCh delivers links for dynamically attached back-ends
+	// (AttachBackEnd); the event loop installs them as new child slots.
+	attachCh chan transport.Link
+}
+
+// run executes the communication-process event loop: route downstream
+// multicasts toward member back-ends, synchronize and transform upstream
+// packets, and forward filtered results toward the front-end.
+func (n *node) run() {
+	if n.leaf {
+		n.be.run()
+		return
+	}
+	n.streams = map[uint32]*streamState{}
+	inbox := make(chan inMsg, 4*(len(n.ep.Children)+1))
+
+	// Reader goroutines: one per link, feeding the event loop.
+	go readLink(n.ep.Parent, -1, inbox)
+	for i, c := range n.ep.Children {
+		go readLink(c, i, inbox)
+	}
+	n.liveChildren = len(n.ep.Children)
+
+	for {
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if d := n.earliestDeadline(); !d.IsZero() {
+			wait := time.Until(d)
+			if wait <= 0 {
+				n.pollStreams()
+				continue
+			}
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case m := <-inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			if done := n.handle(m); done {
+				return
+			}
+		case l := <-n.attachCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			n.addChild(l, inbox)
+		case <-timerC:
+			n.pollStreams()
+		}
+	}
+}
+
+// addChild installs a dynamically attached back-end's link as a new child
+// slot. Existing streams do not include the newcomer (their membership was
+// fixed at creation); streams created afterwards see it via the updated
+// topology snapshot.
+func (n *node) addChild(l transport.Link, inbox chan inMsg) {
+	slot := len(n.ep.Children)
+	n.ep.Children = append(n.ep.Children, l)
+	n.liveChildren++
+	for _, ss := range n.streams {
+		ss.downChildren = append(ss.downChildren, false)
+		ss.upSlot = append(ss.upSlot, -1)
+	}
+	if n.shuttingDown {
+		// The newcomer raced a shutdown: pass the announcement on so it
+		// terminates like everyone else.
+		_ = l.Send(packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown)))
+	}
+	go readLink(l, slot, inbox)
+}
+
+// readLink pumps packets from a link into the inbox, sending a nil-packet
+// sentinel at EOF. A nil link (the root's parent) sends nothing.
+func readLink(l transport.Link, slot int, inbox chan<- inMsg) {
+	if l == nil {
+		return
+	}
+	for {
+		p, err := l.Recv()
+		if err != nil {
+			inbox <- inMsg{child: slot, p: nil}
+			return
+		}
+		inbox <- inMsg{child: slot, p: p}
+	}
+}
+
+// handle processes one inbox message, returning true when the node should
+// exit.
+func (n *node) handle(m inMsg) bool {
+	if m.child == -1 {
+		return n.handleFromParent(m.p)
+	}
+	return n.handleFromChild(m.child, m.p)
+}
+
+func (n *node) handleFromParent(p *packet.Packet) bool {
+	if p == nil {
+		// Parent vanished without shutdown: abandon the subtree.
+		n.closeAll()
+		return true
+	}
+	if p.Tag == packet.TagControl {
+		return n.handleControl(p)
+	}
+	// Downstream data: multicast toward member back-ends, applying the
+	// stream's downstream filter (if any) at this level first.
+	n.nw.metrics.PacketsDown.Add(1)
+	if ss, ok := n.streams[p.StreamID]; ok {
+		outs := []*packet.Packet{p}
+		if ss.downTform != nil {
+			transformed, err := ss.downTform.Transform([]*packet.Packet{p})
+			if err != nil {
+				n.nw.metrics.FilterErrors.Add(1)
+				return false
+			}
+			outs = transformed
+		}
+		for _, q := range outs {
+			q = q.WithStream(ss.id)
+			for i, l := range n.ep.Children {
+				if ss.downChildren[i] {
+					_ = l.Send(q)
+				}
+			}
+		}
+		return false
+	}
+	// Unknown stream: flood (control may still be propagating on another
+	// path in reconfiguration scenarios; flooding is always safe).
+	for _, l := range n.ep.Children {
+		_ = l.Send(p)
+	}
+	return false
+}
+
+func (n *node) handleControl(p *packet.Packet) bool {
+	op, err := ctrlOp(p)
+	if err != nil {
+		return false
+	}
+	switch op {
+	case opNewStream:
+		id, tform, sync, downTform, members, err := parseNewStream(p)
+		if err != nil {
+			return false
+		}
+		ss, err := newStreamState(n.nw.treeNow(), n.rank, n.nw.registry, id, tform, sync, downTform, members)
+		if err != nil {
+			// Unknown filter at this node: degrade to pass-through so data
+			// still flows; the front-end surfaced the same error to the
+			// caller when it validated the stream spec.
+			return false
+		}
+		n.streams[id] = ss
+		for i, l := range n.ep.Children {
+			if ss.downChildren[i] {
+				_ = l.Send(p)
+			}
+		}
+	case opCloseStream:
+		id, err := parseCloseStream(p)
+		if err != nil {
+			return false
+		}
+		if ss, ok := n.streams[id]; ok {
+			// Release anything the synchronizer holds before forgetting
+			// the stream, so time-window policies do not lose data.
+			n.flushBatches(ss, ss.drain())
+			delete(n.streams, id)
+			for i, l := range n.ep.Children {
+				if ss.downChildren[i] {
+					_ = l.Send(p)
+				}
+			}
+		}
+	case opShutdown:
+		n.shuttingDown = true
+		for _, l := range n.ep.Children {
+			_ = l.Send(p)
+		}
+		if n.liveChildren == 0 {
+			n.finish()
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) handleFromChild(child int, p *packet.Packet) bool {
+	if p == nil {
+		n.liveChildren--
+		if n.shuttingDown && n.liveChildren == 0 {
+			n.finish()
+			return true
+		}
+		return false
+	}
+	if p.Tag == packet.TagControl {
+		// Upstream control is not generated today; forward for
+		// forward-compatibility.
+		if n.ep.Parent != nil {
+			_ = n.ep.Parent.Send(p)
+		}
+		return false
+	}
+	n.nw.metrics.PacketsUp.Add(1)
+	ss, ok := n.streams[p.StreamID]
+	if !ok {
+		// Stream unknown here (e.g. closed): pass through unfiltered.
+		if n.ep.Parent != nil {
+			_ = n.ep.Parent.Send(p)
+		}
+		return false
+	}
+	n.flushBatches(ss, ss.add(child, p))
+	return false
+}
+
+// flushBatches transforms released batches and forwards the results upstream.
+func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		n.nw.metrics.Batches.Add(1)
+		out, err := ss.tform.Transform(batch)
+		if err != nil {
+			n.nw.metrics.FilterErrors.Add(1)
+			continue
+		}
+		for _, q := range out {
+			q = q.WithStream(ss.id).WithSrc(n.rank)
+			if n.ep.Parent != nil {
+				_ = n.ep.Parent.Send(q)
+			}
+		}
+	}
+}
+
+func (n *node) pollStreams() {
+	now := time.Now()
+	for _, ss := range n.streams {
+		n.flushBatches(ss, ss.poll(now))
+	}
+}
+
+func (n *node) earliestDeadline() time.Time {
+	var d time.Time
+	for _, ss := range n.streams {
+		if dd := ss.deadline(); !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
+			d = dd
+		}
+	}
+	return d
+}
+
+// finish drains every stream upward and closes the node's links. Called
+// once all children have closed during shutdown, so the released batches
+// are the final data of the run.
+func (n *node) finish() {
+	for _, ss := range n.streams {
+		n.flushBatches(ss, ss.drain())
+	}
+	n.closeAll()
+}
+
+func (n *node) closeAll() {
+	for _, l := range n.ep.Children {
+		_ = l.Close()
+	}
+	if n.ep.Parent != nil {
+		_ = n.ep.Parent.Close()
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// StreamSpec describes a new virtual channel over a subset of back-ends.
+type StreamSpec struct {
+	// Endpoints lists the member back-end ranks. Empty means every
+	// back-end in the topology. Streams over subsets let a tool select
+	// different portions of the topology for different communication
+	// needs; streams may overlap freely.
+	Endpoints []Rank
+	// Transformation names the upstream reduction filter (registry name).
+	// Empty selects the identity filter.
+	Transformation string
+	// Synchronization names the batching policy: "waitforall", "timeout",
+	// or "nullsync". Empty selects "nullsync".
+	Synchronization string
+	// DownTransformation optionally names a filter applied to each
+	// downstream packet at every communication process on its way to the
+	// members — the paper's proposed bidirectional filtering. Empty means
+	// packets fan out unchanged.
+	DownTransformation string
+	// RecvBuffer sets the front-end delivery buffer (packets); 0 = 1024.
+	RecvBuffer int
+}
+
+// Stream is a virtual channel between the front-end and a set of member
+// back-ends, with per-node filters reducing upstream traffic.
+type Stream struct {
+	nw        *Network
+	id        uint32
+	members   []Rank
+	tform     string
+	sync      string
+	recvCh    chan *packet.Packet
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// ErrTimeout is returned by RecvTimeout when no packet arrives in time.
+var ErrTimeout = errors.New("core: receive timed out")
+
+// NewStream establishes a stream: filter and routing state is instantiated
+// at the front-end and announced downstream so every communication process
+// on the members' paths sets up its own filters before any data flows.
+func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	id := nw.nextID
+	nw.nextID++
+	nw.mu.Unlock()
+
+	if spec.Transformation == "" {
+		spec.Transformation = ""
+	}
+	if spec.Synchronization == "" {
+		spec.Synchronization = "nullsync"
+	}
+	tree := nw.treeNow()
+	members := spec.Endpoints
+	if len(members) == 0 {
+		members = tree.Leaves()
+	}
+	for _, m := range members {
+		n := tree.Node(m)
+		if n == nil {
+			return nil, fmt.Errorf("core: stream endpoint %d does not exist", m)
+		}
+		if !n.IsLeaf() {
+			return nil, fmt.Errorf("core: stream endpoint %d is not a back-end", m)
+		}
+	}
+
+	// Instantiate the front-end's own filter level; this also validates
+	// both filter names before anything is announced downstream.
+	ss, err := newStreamState(tree, 0, nw.registry, id,
+		spec.Transformation, spec.Synchronization, spec.DownTransformation, members)
+	if err != nil {
+		return nil, err
+	}
+
+	buf := spec.RecvBuffer
+	if buf <= 0 {
+		buf = 1024
+	}
+	st := &Stream{
+		nw:      nw,
+		id:      id,
+		members: append([]Rank(nil), members...),
+		tform:   spec.Transformation,
+		sync:    spec.Synchronization,
+		recvCh:  make(chan *packet.Packet, buf),
+		closed:  make(chan struct{}),
+	}
+	nw.mu.Lock()
+	nw.streams[id] = st
+	nw.mu.Unlock()
+	nw.fe.setState(id, ss)
+
+	// Announce downstream along member paths only.
+	ctrl := newStreamPacket(id, spec.Transformation, spec.Synchronization,
+		spec.DownTransformation, members)
+	for i, l := range nw.fe.ep.Children {
+		if ss.downChildren[i] {
+			if err := l.Send(ctrl); err != nil {
+				return nil, fmt.Errorf("core: announcing stream %d: %w", id, err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// Stream returns the open stream with the given id, or nil.
+func (nw *Network) Stream(id uint32) *Stream {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.streams[id]
+}
+
+// ID returns the stream identifier carried by its packets.
+func (s *Stream) ID() uint32 { return s.id }
+
+// Members returns the member back-end ranks (shared slice; do not modify).
+func (s *Stream) Members() []Rank { return s.members }
+
+// Multicast sends a packet downstream to every member back-end. The packet
+// fans out along the tree, so the front-end performs only fan-out(root)
+// sends regardless of member count.
+func (s *Stream) Multicast(tag int32, format string, values ...any) error {
+	p, err := packet.New(tag, s.id, 0, format, values...)
+	if err != nil {
+		return err
+	}
+	return s.MulticastPacket(p)
+}
+
+// MulticastPacket sends a pre-built packet downstream to all members.
+func (s *Stream) MulticastPacket(p *packet.Packet) error {
+	select {
+	case <-s.closed:
+		return ErrShutdown
+	default:
+	}
+	ss := s.nw.fe.state(s.id)
+	if ss == nil {
+		return ErrShutdown
+	}
+	p = p.WithStream(s.id)
+	s.nw.metrics.PacketsDown.Add(1)
+	for i, l := range s.nw.fe.ep.Children {
+		if ss.downChildren[i] {
+			if err := l.Send(p); err != nil {
+				return fmt.Errorf("core: multicast on stream %d: %w", s.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// deliver hands a fully reduced packet to the stream's receiver, dropping
+// it if the stream has been closed.
+func (s *Stream) deliver(p *packet.Packet) {
+	select {
+	case s.recvCh <- p:
+	case <-s.closed:
+	}
+}
+
+// Recv blocks for the next fully reduced packet arriving at the front-end
+// on this stream. It returns io.EOF once the stream is closed and drained.
+func (s *Stream) Recv() (*packet.Packet, error) {
+	select {
+	case p := <-s.recvCh:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-s.recvCh:
+		return p, nil
+	case <-s.closed:
+		select {
+		case p := <-s.recvCh:
+			return p, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
+func (s *Stream) RecvTimeout(d time.Duration) (*packet.Packet, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case p := <-s.recvCh:
+		return p, nil
+	case <-s.closed:
+		select {
+		case p := <-s.recvCh:
+			return p, nil
+		default:
+			return nil, io.EOF
+		}
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// Close tears the stream down: communication processes drain their
+// synchronizers, forget the stream, and propagate the close toward the
+// members. Packets already in flight above a draining node are delivered
+// unfiltered and dropped at the front-end.
+func (s *Stream) Close() error {
+	var sendErr error
+	s.closeOnce.Do(func() {
+		ss := s.nw.fe.state(s.id)
+		if ss != nil {
+			ctrl := closeStreamPacket(s.id)
+			for i, l := range s.nw.fe.ep.Children {
+				if ss.downChildren[i] {
+					if err := l.Send(ctrl); err != nil && sendErr == nil {
+						sendErr = err
+					}
+				}
+			}
+		}
+		s.nw.fe.dropState(s.id)
+		s.nw.mu.Lock()
+		delete(s.nw.streams, s.id)
+		s.nw.mu.Unlock()
+		close(s.closed)
+	})
+	return sendErr
+}
+
+// closeRecv marks the stream closed without control traffic; used at
+// network shutdown.
+func (s *Stream) closeRecv() {
+	s.closeOnce.Do(func() { close(s.closed) })
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// streamState is the per-node, per-stream routing and filtering state
+// established by an opNewStream control message.
+type streamState struct {
+	id    uint32
+	tform filter.Transformation
+	sync  filter.Synchronizer
+	// downTform, if non-nil, transforms each downstream packet at this
+	// node before it fans out toward the members — the bidirectional
+	// filtering extension the paper proposes as future work.
+	downTform filter.Transformation
+
+	// downChildren holds, for each of the node's child link slots, whether
+	// the stream has members in that child's subtree (multicast routing).
+	downChildren []bool
+	// upSlot maps a child link slot to its dense index among participating
+	// children (the synchronizer's child-slot space), or -1.
+	upSlot []int
+	// numUp is the count of participating children.
+	numUp int
+}
+
+// newStreamState instantiates filters and routing for a stream at the node
+// with the given rank. members must be back-end ranks.
+func newStreamState(tree *topology.Tree, rank Rank, reg *filter.Registry,
+	id uint32, tformName, syncName, downTformName string, members []Rank) (*streamState, error) {
+
+	tf, err := reg.NewTransformation(tformName)
+	if err != nil {
+		return nil, err
+	}
+	sy, err := reg.NewSynchronizer(syncName)
+	if err != nil {
+		return nil, err
+	}
+	var dtf filter.Transformation
+	if downTformName != "" {
+		dtf, err = reg.NewTransformation(downTformName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	memberSet := make(map[Rank]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	children := tree.Children(rank)
+	ss := &streamState{
+		id:           id,
+		tform:        tf,
+		sync:         sy,
+		downTform:    dtf,
+		downChildren: make([]bool, len(children)),
+		upSlot:       make([]int, len(children)),
+	}
+	for i, c := range children {
+		ss.upSlot[i] = -1
+		for _, leaf := range tree.SubtreeLeaves(c) {
+			if memberSet[leaf] {
+				ss.downChildren[i] = true
+				break
+			}
+		}
+		if ss.downChildren[i] {
+			ss.upSlot[i] = ss.numUp
+			ss.numUp++
+		}
+	}
+	// Both synchronizers (WaitForAll) and transformations (e.g. the
+	// time-alignment filter) may need to know how many children feed them.
+	if ca, ok := sy.(filter.ChildAware); ok {
+		ca.SetNumChildren(ss.numUp)
+	}
+	if ca, ok := tf.(filter.ChildAware); ok {
+		ca.SetNumChildren(ss.numUp)
+	}
+	return ss, nil
+}
+
+// add feeds an upstream packet arriving on child link slot childIdx through
+// the synchronizer, returning released batches.
+func (ss *streamState) add(childIdx int, p *packet.Packet) [][]*packet.Packet {
+	slot := -1
+	if childIdx >= 0 && childIdx < len(ss.upSlot) {
+		slot = ss.upSlot[childIdx]
+	}
+	return ss.sync.Add(slot, p)
+}
+
+// poll releases time-triggered batches.
+func (ss *streamState) poll(now time.Time) [][]*packet.Packet {
+	return ss.sync.Poll(now)
+}
+
+// drain force-releases everything the synchronizer holds.
+func (ss *streamState) drain() [][]*packet.Packet {
+	if d, ok := ss.sync.(filter.Drainer); ok {
+		return d.Drain()
+	}
+	return nil
+}
+
+// deadline reports the synchronizer's next timer need.
+func (ss *streamState) deadline() time.Time { return ss.sync.Deadline() }

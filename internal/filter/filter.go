@@ -1,0 +1,182 @@
+// Package filter implements the TBON's data filter abstraction: functions
+// placed at every communication process that transform sets of in-flight
+// packets into (usually) a single packet, optionally carrying persistent
+// state between executions. Filters are the mechanism that turns a
+// communication tree into a distributed computation engine.
+//
+// Two filter families exist, mirroring MRNet:
+//
+//   - Transformation filters aggregate or reduce packet payloads (sum, min,
+//     max, average, concatenation, or arbitrary application logic).
+//   - Synchronization filters decide *when* waiting packets are delivered to
+//     the transformation filter: when every child has reported
+//     (WaitForAll), after a timeout window (TimeOut), or immediately (Null).
+//
+// Filters are instantiated per stream per node from a Registry, the Go
+// equivalent of MRNet's dlopen-based on-demand filter loading: applications
+// register constructors under a name, and any node can instantiate the
+// filter by name at stream-creation time.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Transformation reduces a batch of packets (one batch as released by the
+// node's synchronization policy) into zero or more output packets. Filters
+// may keep state across calls; each node instantiates its own filter, so
+// implementations need not be safe for concurrent use.
+type Transformation interface {
+	// Transform consumes a batch of packets travelling in the same
+	// direction on one stream and returns the packets to forward. A nil or
+	// empty result suppresses forwarding entirely (used e.g. by
+	// equivalence-class filters that only forward novel information).
+	Transform(in []*packet.Packet) ([]*packet.Packet, error)
+}
+
+// TransformFunc adapts a function to the Transformation interface.
+type TransformFunc func(in []*packet.Packet) ([]*packet.Packet, error)
+
+// Transform calls f.
+func (f TransformFunc) Transform(in []*packet.Packet) ([]*packet.Packet, error) { return f(in) }
+
+// StatefulTransformation is implemented by transformations whose persistent
+// filter state can be externalized. The reliability layer uses this to
+// checkpoint filter state so a recovered node can resume the reduction
+// without data loss (the paper's "zero-cost reliability" mechanism composes
+// such states).
+type StatefulTransformation interface {
+	Transformation
+	// State returns an opaque, serializable snapshot of the filter state.
+	State() ([]byte, error)
+	// SetState restores a snapshot produced by State.
+	SetState([]byte) error
+}
+
+// Synchronizer groups arriving packets into batches for transformation.
+// Implementations are per-node, per-stream and are driven by the node's
+// receive loop: Add is called for every arriving upstream packet, and
+// Flush drains whatever the policy is willing to release.
+type Synchronizer interface {
+	// Add offers an arriving packet (with the child slot index it arrived
+	// on) to the synchronizer and returns any batch that the policy
+	// releases as a result.
+	Add(child int, p *packet.Packet) [][]*packet.Packet
+	// Poll returns batches released by the passage of time (only the
+	// TimeOut policy ever releases here). now is the current time.
+	Poll(now time.Time) [][]*packet.Packet
+	// Pending reports how many packets are currently held back.
+	Pending() int
+	// Deadline returns the next time Poll could release a batch, or the
+	// zero time when no timer is needed.
+	Deadline() time.Time
+}
+
+// ErrUnknownFilter reports a name not present in a Registry.
+var ErrUnknownFilter = errors.New("filter: unknown filter")
+
+// Registry maps filter names to constructors. It is safe for concurrent
+// use; overlay nodes consult it when a stream announces its filters, which
+// is the dynamic-loading moment.
+type Registry struct {
+	mu     sync.RWMutex
+	tforms map[string]func() Transformation
+	syncs  map[string]func() Synchronizer
+}
+
+// NewRegistry returns a registry pre-populated with the built-in MRNet
+// filter set: transformation filters "sum", "min", "max", "avg", "count",
+// "concat" (each over %d and %f payloads), the identity filter "" / "null",
+// and synchronization filters "waitforall", "timeout" (50ms default
+// window), and "nullsync".
+func NewRegistry() *Registry {
+	r := &Registry{
+		tforms: map[string]func() Transformation{},
+		syncs:  map[string]func() Synchronizer{},
+	}
+	r.RegisterTransformation("", func() Transformation { return Identity{} })
+	r.RegisterTransformation("null", func() Transformation { return Identity{} })
+	r.RegisterTransformation("sum", func() Transformation { return NewNumericReduce(OpSum) })
+	r.RegisterTransformation("min", func() Transformation { return NewNumericReduce(OpMin) })
+	r.RegisterTransformation("max", func() Transformation { return NewNumericReduce(OpMax) })
+	r.RegisterTransformation("avg", func() Transformation { return NewNumericReduce(OpAvg) })
+	r.RegisterTransformation("count", func() Transformation { return NewNumericReduce(OpCount) })
+	r.RegisterTransformation("concat", func() Transformation { return Concat{} })
+	r.RegisterSynchronizer("nullsync", func() Synchronizer { return NewNullSync() })
+	r.RegisterSynchronizer("waitforall", func() Synchronizer { return NewWaitForAll(0) })
+	r.RegisterSynchronizer("timeout", func() Synchronizer { return NewTimeOut(50 * time.Millisecond) })
+	return r
+}
+
+// RegisterTransformation installs (or replaces) a transformation
+// constructor under the given name.
+func (r *Registry) RegisterTransformation(name string, ctor func() Transformation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tforms[name] = ctor
+}
+
+// RegisterSynchronizer installs (or replaces) a synchronizer constructor.
+func (r *Registry) RegisterSynchronizer(name string, ctor func() Synchronizer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncs[name] = ctor
+}
+
+// NewTransformation instantiates the named transformation filter.
+func (r *Registry) NewTransformation(name string) (Transformation, error) {
+	r.mu.RLock()
+	ctor, ok := r.tforms[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: transformation %q", ErrUnknownFilter, name)
+	}
+	return ctor(), nil
+}
+
+// NewSynchronizer instantiates the named synchronization filter.
+func (r *Registry) NewSynchronizer(name string) (Synchronizer, error) {
+	r.mu.RLock()
+	ctor, ok := r.syncs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: synchronizer %q", ErrUnknownFilter, name)
+	}
+	return ctor(), nil
+}
+
+// Transformations lists the registered transformation names, sorted.
+func (r *Registry) Transformations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tforms))
+	for n := range r.tforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Synchronizers lists the registered synchronizer names, sorted.
+func (r *Registry) Synchronizers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.syncs))
+	for n := range r.syncs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Identity forwards packets unchanged; it is the default transformation.
+type Identity struct{}
+
+// Transform returns its input unchanged.
+func (Identity) Transform(in []*packet.Packet) ([]*packet.Packet, error) { return in, nil }

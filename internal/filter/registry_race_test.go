@@ -1,0 +1,42 @@
+package filter
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse hammers one registry from many goroutines the
+// way a large overlay does at stream-creation time: every node instantiates
+// filters by name while the application registers new ones.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("custom-%d-%d", g, i)
+				r.RegisterTransformation(name, func() Transformation { return Identity{} })
+				if _, err := r.NewTransformation(name); err != nil {
+					t.Errorf("lookup of just-registered %q: %v", name, err)
+					return
+				}
+				if _, err := r.NewTransformation("sum"); err != nil {
+					t.Errorf("builtin lookup: %v", err)
+					return
+				}
+				if _, err := r.NewSynchronizer("waitforall"); err != nil {
+					t.Errorf("builtin sync lookup: %v", err)
+					return
+				}
+				_ = r.Transformations()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Transformations()); got < 8*200 {
+		t.Errorf("registry lists %d transformations, want >= 1600", got)
+	}
+}

@@ -1,0 +1,186 @@
+package filter
+
+import (
+	"time"
+
+	"repro/internal/packet"
+)
+
+// ChildAware is implemented by synchronizers that need to know how many
+// child slots feed them (WaitForAll). The overlay node calls SetNumChildren
+// once, before any packets arrive.
+type ChildAware interface {
+	SetNumChildren(n int)
+}
+
+// Drainer is implemented by synchronizers that can be force-flushed at
+// stream shutdown, releasing everything still held back.
+type Drainer interface {
+	Drain() [][]*packet.Packet
+}
+
+// NullSync delivers every packet immediately upon receipt — MRNet's "null"
+// synchronization filter.
+type NullSync struct{}
+
+// NewNullSync returns a pass-through synchronizer.
+func NewNullSync() *NullSync { return &NullSync{} }
+
+// Add releases the packet immediately as a singleton batch.
+func (*NullSync) Add(child int, p *packet.Packet) [][]*packet.Packet {
+	return [][]*packet.Packet{{p}}
+}
+
+// Poll never releases anything.
+func (*NullSync) Poll(time.Time) [][]*packet.Packet { return nil }
+
+// Pending is always zero.
+func (*NullSync) Pending() int { return 0 }
+
+// Deadline is always zero.
+func (*NullSync) Deadline() time.Time { return time.Time{} }
+
+// WaitForAll holds packets until one has arrived from every child slot,
+// then releases one packet per child as a single batch — MRNet's
+// "wait_for_all" policy. Packets queue per child in FIFO order, so a fast
+// child may run ahead; batches always contain exactly one packet per child
+// in child-slot order.
+type WaitForAll struct {
+	n      int
+	queues [][]*packet.Packet
+}
+
+// NewWaitForAll returns the policy for n children. If n is zero the node
+// must call SetNumChildren before the first packet arrives.
+func NewWaitForAll(n int) *WaitForAll {
+	w := &WaitForAll{}
+	w.SetNumChildren(n)
+	return w
+}
+
+// SetNumChildren sizes the per-child queues.
+func (w *WaitForAll) SetNumChildren(n int) {
+	w.n = n
+	w.queues = make([][]*packet.Packet, n)
+}
+
+// Add queues the packet and releases as many complete batches as exist.
+func (w *WaitForAll) Add(child int, p *packet.Packet) [][]*packet.Packet {
+	if child < 0 || child >= w.n {
+		// Unknown slot: deliver immediately rather than lose data.
+		return [][]*packet.Packet{{p}}
+	}
+	w.queues[child] = append(w.queues[child], p)
+	var out [][]*packet.Packet
+	for w.complete() {
+		batch := make([]*packet.Packet, w.n)
+		for i := range w.queues {
+			batch[i] = w.queues[i][0]
+			w.queues[i] = w.queues[i][1:]
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+func (w *WaitForAll) complete() bool {
+	if w.n == 0 {
+		return false
+	}
+	for _, q := range w.queues {
+		if len(q) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Poll never releases on time alone.
+func (*WaitForAll) Poll(time.Time) [][]*packet.Packet { return nil }
+
+// Pending counts all held packets.
+func (w *WaitForAll) Pending() int {
+	n := 0
+	for _, q := range w.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Deadline is always zero: WaitForAll needs no timer.
+func (*WaitForAll) Deadline() time.Time { return time.Time{} }
+
+// Drain releases all held packets as one final partial batch, in child-slot
+// order. Used when a stream shuts down or a child fails permanently.
+func (w *WaitForAll) Drain() [][]*packet.Packet {
+	var batch []*packet.Packet
+	for i := range w.queues {
+		batch = append(batch, w.queues[i]...)
+		w.queues[i] = nil
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	return [][]*packet.Packet{batch}
+}
+
+// TimeOut delivers the packets received within a specified window —
+// MRNet's "time_out" policy. The window opens when a packet arrives while
+// no window is open; when it expires (observed via Poll) everything
+// received so far is released as one batch.
+type TimeOut struct {
+	window   time.Duration
+	pending  []*packet.Packet
+	deadline time.Time
+	now      func() time.Time // test hook
+}
+
+// NewTimeOut returns the policy with the given window. A non-positive
+// window behaves like NullSync.
+func NewTimeOut(window time.Duration) *TimeOut {
+	return &TimeOut{window: window, now: time.Now}
+}
+
+// Add queues the packet, opening the window if needed. With a non-positive
+// window the packet is released immediately.
+func (t *TimeOut) Add(child int, p *packet.Packet) [][]*packet.Packet {
+	if t.window <= 0 {
+		return [][]*packet.Packet{{p}}
+	}
+	if len(t.pending) == 0 {
+		t.deadline = t.now().Add(t.window)
+	}
+	t.pending = append(t.pending, p)
+	return nil
+}
+
+// Poll releases the held batch once the window has expired.
+func (t *TimeOut) Poll(now time.Time) [][]*packet.Packet {
+	if len(t.pending) == 0 || now.Before(t.deadline) {
+		return nil
+	}
+	batch := t.pending
+	t.pending = nil
+	return [][]*packet.Packet{batch}
+}
+
+// Pending counts held packets.
+func (t *TimeOut) Pending() int { return len(t.pending) }
+
+// Deadline returns the end of the open window, or zero when idle.
+func (t *TimeOut) Deadline() time.Time {
+	if len(t.pending) == 0 {
+		return time.Time{}
+	}
+	return t.deadline
+}
+
+// Drain releases everything held, regardless of the window.
+func (t *TimeOut) Drain() [][]*packet.Packet {
+	if len(t.pending) == 0 {
+		return nil
+	}
+	batch := t.pending
+	t.pending = nil
+	return [][]*packet.Packet{batch}
+}

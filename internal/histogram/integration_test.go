@@ -1,0 +1,86 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/topology"
+)
+
+// TestDistributedHistogram pushes per-leaf observations through the merge
+// filter on a 3-level overlay and checks the global distribution at the
+// front-end: total mass equals the sum of leaf masses, and the median of a
+// uniform distribution lands mid-range.
+func TestDistributedHistogram(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:4^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perLeaf = 500
+	reg := filter.NewRegistry()
+	Register(reg)
+	nw, err := core.NewNetwork(core.Config{
+		Topology: tree,
+		Registry: reg,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				h, err := New(0, 100, 50)
+				if err != nil {
+					return err
+				}
+				rng := rand.New(rand.NewSource(int64(be.Rank())))
+				for i := 0; i < perLeaf; i++ {
+					h.Add(rng.Float64() * 100)
+				}
+				out, err := h.ToPacket(p.Tag, p.StreamID, be.Rank())
+				if err != nil {
+					return err
+				}
+				if err := be.SendPacket(out); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	st, err := nw.NewStream(core.StreamSpec{
+		Transformation:  FilterName,
+		Synchronization: "waitforall",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(100, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := int64(len(tree.Leaves()) * perLeaf)
+	if g.Count() != wantTotal {
+		t.Errorf("global count = %d, want %d", g.Count(), wantTotal)
+	}
+	if med := g.Quantile(0.5); med < 40 || med > 60 {
+		t.Errorf("median of uniform[0,100) = %g, want ~50", med)
+	}
+	// Constant message size: the front-end packet is one histogram, not
+	// 16 — payload independent of back-end count.
+	if p.EncodedSize() > 1024 {
+		t.Errorf("front-end histogram packet is %d bytes; should be bin-count-sized", p.EncodedSize())
+	}
+}

@@ -1,0 +1,88 @@
+package meanshift
+
+import "math/rand"
+
+// GenParams describes the synthetic workload of §3.1: "The data about each
+// cluster center is generated using a random Gaussian distribution. The
+// cluster centers are slightly shifted in each leaf node as they might be
+// in feature tracking in video processing or when processing images with
+// non-uniform illumination."
+type GenParams struct {
+	// Centers are the true cluster modes.
+	Centers []Point
+	// Spread is the per-cluster Gaussian standard deviation.
+	Spread float64
+	// PointsPerCluster is the sample count per center.
+	PointsPerCluster int
+	// CenterJitter is the magnitude of the per-leaf random shift applied
+	// to every center (the "slightly shifted" clause).
+	CenterJitter float64
+	// Seed makes generation deterministic; combine with the leaf rank so
+	// every leaf sees different samples and differently jittered centers.
+	Seed int64
+}
+
+// DefaultCenters lays k cluster centers on a coarse grid inside a
+// field x field square, spaced far apart relative to the paper's
+// bandwidth of 50.
+func DefaultCenters(k int, field float64) []Point {
+	cols := 1
+	for cols*cols < k {
+		cols++
+	}
+	var out []Point
+	step := field / float64(cols+1)
+	for i := 0; i < k; i++ {
+		r, c := i/cols, i%cols
+		out = append(out, Point{step * float64(c+1), step * float64(r+1)})
+	}
+	return out
+}
+
+// Generate produces one leaf's synthetic data set.
+func Generate(gp GenParams) []Point {
+	rng := rand.New(rand.NewSource(gp.Seed))
+	spread := gp.Spread
+	if spread <= 0 {
+		spread = 20
+	}
+	n := gp.PointsPerCluster
+	if n <= 0 {
+		n = 100
+	}
+	out := make([]Point, 0, n*len(gp.Centers))
+	for _, c := range gp.Centers {
+		// Per-leaf jitter of this center.
+		jc := Point{
+			c.X + gp.CenterJitter*(2*rng.Float64()-1),
+			c.Y + gp.CenterJitter*(2*rng.Float64()-1),
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, Point{
+				jc.X + rng.NormFloat64()*spread,
+				jc.Y + rng.NormFloat64()*spread,
+			})
+		}
+	}
+	return out
+}
+
+// PointsToFloats flattens points into the x0,y0,x1,y1,... layout used by
+// the TBON packet payloads (%af).
+func PointsToFloats(ps []Point) []float64 {
+	out := make([]float64, 0, 2*len(ps))
+	for _, p := range ps {
+		out = append(out, p.X, p.Y)
+	}
+	return out
+}
+
+// FloatsToPoints is the inverse of PointsToFloats. A trailing odd value is
+// ignored.
+func FloatsToPoints(xs []float64) []Point {
+	out := make([]Point, 0, len(xs)/2)
+	for i := 0; i+1 < len(xs); i += 2 {
+		out = append(out, Point{xs[i], xs[i+1]})
+	}
+	return out
+}

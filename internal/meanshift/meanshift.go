@@ -1,0 +1,327 @@
+// Package meanshift implements the paper's case-study algorithm: the
+// mean-shift procedure (Fukunaga & Hostetler) for two-dimensional data,
+// which iteratively moves a search window toward the direction of greatest
+// density increase until it converges on a mode (peak) of the underlying
+// distribution. It is non-parametric: the number of clusters need not be
+// known a priori.
+//
+// The package provides the single-node reference implementation (density
+// scan seeding + kernel mean-shift + peak merging), the synthetic Gaussian
+// cluster generator the paper's evaluation uses, and the TBON filter that
+// distributes the computation: leaves run mean-shift on local data, and
+// every parent merges its children's data sets and re-runs the procedure
+// seeded with the children's peaks (filter.go).
+package meanshift
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a 2-D sample.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Sqrt(p.Dist2(q)) }
+
+// Kernel selects the shape function weighting points in the search window.
+// The paper chooses Gaussian, which smooths noisy data; Uniform, Triangular
+// and Epanechnikov (quadratic) are the other options it mentions.
+type Kernel int
+
+// The supported shape functions.
+const (
+	Gaussian Kernel = iota
+	Uniform
+	Triangular
+	Epanechnikov
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case Gaussian:
+		return "gaussian"
+	case Uniform:
+		return "uniform"
+	case Triangular:
+		return "triangular"
+	case Epanechnikov:
+		return "epanechnikov"
+	}
+	return "kernel?"
+}
+
+// weight evaluates the kernel for squared distance d2 under bandwidth h.
+// Points beyond the window (3h for Gaussian, h otherwise) weigh zero.
+func (k Kernel) weight(d2, h float64) float64 {
+	switch k {
+	case Gaussian:
+		if d2 > 9*h*h {
+			return 0
+		}
+		return math.Exp(-d2 / (2 * h * h))
+	case Uniform:
+		if d2 > h*h {
+			return 0
+		}
+		return 1
+	case Triangular:
+		if d2 > h*h {
+			return 0
+		}
+		return 1 - math.Sqrt(d2)/h
+	case Epanechnikov:
+		if d2 > h*h {
+			return 0
+		}
+		return 1 - d2/(h*h)
+	}
+	return 0
+}
+
+// Params controls the procedure. The zero value is completed by
+// WithDefaults, matching the paper's choices where it states them (fixed
+// bandwidth 50; Gaussian shape function).
+type Params struct {
+	// Bandwidth estimates the variability of the data (the paper fixes 50).
+	Bandwidth float64
+	// Kernel is the shape function (paper: Gaussian).
+	Kernel Kernel
+	// DensityThreshold is the minimum kernel-weighted density at which a
+	// mean-shift search begins; low-density areas are poor mode candidates.
+	DensityThreshold float64
+	// MaxIters bounds the shift loop (the paper's "maximum iteration
+	// threshold").
+	MaxIters int
+	// Eps is the movement below which the shift vector counts as zero.
+	Eps float64
+	// SeedStep is the grid spacing of the density scan that chooses
+	// starting points; defaults to Bandwidth.
+	SeedStep float64
+	// MergeRadius collapses converged centroids closer than this into one
+	// peak; defaults to Bandwidth/2.
+	MergeRadius float64
+}
+
+// WithDefaults fills unset fields with the paper's values.
+func (p Params) WithDefaults() Params {
+	if p.Bandwidth <= 0 {
+		p.Bandwidth = 50
+	}
+	if p.DensityThreshold <= 0 {
+		p.DensityThreshold = 5
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = 100
+	}
+	if p.Eps <= 0 {
+		p.Eps = 1e-2
+	}
+	if p.SeedStep <= 0 {
+		p.SeedStep = p.Bandwidth
+	}
+	if p.MergeRadius <= 0 {
+		p.MergeRadius = p.Bandwidth / 2
+	}
+	return p
+}
+
+// Density returns the kernel-weighted density of data around c. weights
+// scales each point's contribution (nil means every point weighs 1); the
+// distributed algorithm uses weights to represent condensed clusters.
+func Density(data []Point, weights []float64, c Point, p Params) float64 {
+	p = p.WithDefaults()
+	var sum float64
+	for i, q := range data {
+		w := p.Kernel.weight(c.Dist2(q), p.Bandwidth)
+		if weights != nil {
+			w *= weights[i]
+		}
+		sum += w
+	}
+	return sum
+}
+
+// Shift runs the mean-shift procedure from start: on each iteration the
+// kernel-weighted mean of the window around the current centroid becomes
+// the new centroid, until the shift vector is (effectively) zero or
+// MaxIters is reached. weights (nil = all 1) scales each point's mass.
+// It returns the converged mode and the number of iterations used.
+func Shift(data []Point, weights []float64, start Point, p Params) (Point, int) {
+	p = p.WithDefaults()
+	c := start
+	for it := 1; it <= p.MaxIters; it++ {
+		var wsum, wx, wy float64
+		for i, q := range data {
+			w := p.Kernel.weight(c.Dist2(q), p.Bandwidth)
+			if w == 0 {
+				continue
+			}
+			if weights != nil {
+				w *= weights[i]
+			}
+			wsum += w
+			wx += w * q.X
+			wy += w * q.Y
+		}
+		if wsum == 0 {
+			return c, it // empty window: nowhere to go
+		}
+		next := Point{wx / wsum, wy / wsum}
+		if c.Dist(next) < p.Eps {
+			return next, it
+		}
+		c = next
+	}
+	return c, p.MaxIters
+}
+
+// FindPeaks is the single-node algorithm exactly as §3.1 describes: scan
+// the data with a fixed window computing densities, start a mean-shift
+// search wherever the density exceeds the threshold, and keep each local
+// maximum the searches converge to as a peak.
+func FindPeaks(data []Point, p Params) []Point {
+	return FindPeaksSeeded(data, nil, nil, p)
+}
+
+// FindPeaksSeeded runs FindPeaks over weighted data (weights nil = all 1)
+// with additional explicit starting points — the peaks reported by child
+// nodes, in the distributed algorithm. Seeds are searched first; the
+// density scan then covers regions the seeds miss.
+func FindPeaksSeeded(data []Point, weights []float64, seeds []Point, p Params) []Point {
+	p = p.WithDefaults()
+	if len(data) == 0 {
+		return nil
+	}
+	var converged []Point
+	for _, s := range seeds {
+		m, _ := Shift(data, weights, s, p)
+		converged = append(converged, m)
+	}
+	// Grid scan for dense regions, as in the single-node version.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, q := range data {
+		minX = math.Min(minX, q.X)
+		maxX = math.Max(maxX, q.X)
+		minY = math.Min(minY, q.Y)
+		maxY = math.Max(maxY, q.Y)
+	}
+	for x := minX; x <= maxX+p.SeedStep/2; x += p.SeedStep {
+		for y := minY; y <= maxY+p.SeedStep/2; y += p.SeedStep {
+			c := Point{x, y}
+			// Skip cells already explained by a found peak.
+			if nearAny(c, converged, p.MergeRadius) {
+				continue
+			}
+			if Density(data, weights, c, p) < p.DensityThreshold {
+				continue
+			}
+			m, _ := Shift(data, weights, c, p)
+			converged = append(converged, m)
+		}
+	}
+	return MergePeaks(converged, p.MergeRadius)
+}
+
+// Condense produces the "resulting data set" a node forwards upstream
+// (§3.1): every point collapses onto the nearest found peak within the
+// bandwidth, accumulating weight; points no peak explains survive
+// unchanged. The condensed set preserves the mass distribution that
+// matters for further mode seeking while shrinking the payload from
+// sample count to cluster count — the data reduction property (output
+// smaller than input, same form as input) that makes the algorithm a
+// TBON-suitable reduction.
+func Condense(data []Point, weights []float64, peaks []Point, p Params) ([]Point, []float64) {
+	p = p.WithDefaults()
+	if len(data) == 0 {
+		return nil, nil
+	}
+	outPts := append([]Point(nil), peaks...)
+	outW := make([]float64, len(peaks))
+	for i, q := range data {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		best := -1
+		bestD2 := p.Bandwidth * p.Bandwidth
+		for j, pk := range peaks {
+			if d2 := q.Dist2(pk); d2 <= bestD2 {
+				best, bestD2 = j, d2
+			}
+		}
+		if best >= 0 {
+			outW[best] += w
+		} else {
+			outPts = append(outPts, q)
+			outW = append(outW, w)
+		}
+	}
+	// Drop peaks that attracted no mass (can happen when a stale seed
+	// converged somewhere data no longer supports).
+	pts := outPts[:0]
+	ws := outW[:0]
+	for i := range outPts {
+		if outW[i] > 0 {
+			pts = append(pts, outPts[i])
+			ws = append(ws, outW[i])
+		}
+	}
+	return pts, ws
+}
+
+func nearAny(c Point, ps []Point, r float64) bool {
+	for _, q := range ps {
+		if c.Dist2(q) <= r*r {
+			return true
+		}
+	}
+	return false
+}
+
+// MergePeaks collapses peaks within radius of each other into their
+// centroid, returning peaks sorted by (X, Y) for determinism.
+func MergePeaks(peaks []Point, radius float64) []Point {
+	var out []Point
+	counts := make([]int, 0, len(peaks))
+	for _, pk := range peaks {
+		merged := false
+		for i := range out {
+			if out[i].Dist2(pk) <= radius*radius {
+				// Running centroid of merged members.
+				n := float64(counts[i])
+				out[i] = Point{(out[i].X*n + pk.X) / (n + 1), (out[i].Y*n + pk.Y) / (n + 1)}
+				counts[i]++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, pk)
+			counts = append(counts, 1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}

@@ -1,0 +1,337 @@
+package meanshift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// matchPeaks asserts that got contains exactly one peak near each want
+// center, within tol.
+func matchPeaks(t *testing.T, got, want []Point, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("found %d peaks %v, want %d near %v", len(got), got, len(want), want)
+	}
+	used := make([]bool, len(got))
+	for _, w := range want {
+		found := false
+		for i, g := range got {
+			if !used[i] && g.Dist(w) <= tol {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no peak near %v (got %v)", w, got)
+		}
+	}
+}
+
+func TestShiftConvergesToSingleMode(t *testing.T) {
+	centers := []Point{{200, 200}}
+	data := Generate(GenParams{Centers: centers, Spread: 20, PointsPerCluster: 400, Seed: 1})
+	p := Params{Bandwidth: 50}.WithDefaults()
+	mode, iters := Shift(data, nil, Point{150, 260}, p)
+	if mode.Dist(centers[0]) > 10 {
+		t.Errorf("mode = %v, want near %v", mode, centers[0])
+	}
+	if iters <= 0 || iters > p.MaxIters {
+		t.Errorf("iters = %d", iters)
+	}
+}
+
+func TestShiftEmptyWindow(t *testing.T) {
+	data := []Point{{0, 0}}
+	p := Params{Bandwidth: 1}.WithDefaults()
+	// Start far outside any window: no weight, shift stays put.
+	mode, _ := Shift(data, nil, Point{1000, 1000}, p)
+	if mode != (Point{1000, 1000}) {
+		t.Errorf("empty-window shift moved to %v", mode)
+	}
+}
+
+func TestFindPeaksTwoClusters(t *testing.T) {
+	centers := []Point{{150, 150}, {420, 430}}
+	data := Generate(GenParams{Centers: centers, Spread: 25, PointsPerCluster: 300, Seed: 7})
+	peaks := FindPeaks(data, Params{Bandwidth: 50})
+	matchPeaks(t, peaks, centers, 15)
+}
+
+func TestFindPeaksFourClusters(t *testing.T) {
+	centers := DefaultCenters(4, 600)
+	data := Generate(GenParams{Centers: centers, Spread: 20, PointsPerCluster: 250, Seed: 3})
+	peaks := FindPeaks(data, Params{Bandwidth: 50})
+	matchPeaks(t, peaks, centers, 15)
+}
+
+func TestFindPeaksEmptyAndTiny(t *testing.T) {
+	if got := FindPeaks(nil, Params{}); got != nil {
+		t.Errorf("peaks of empty data = %v", got)
+	}
+	// A tight blob of identical points has one peak at the blob.
+	blob := make([]Point, 50)
+	for i := range blob {
+		blob[i] = Point{100, 100}
+	}
+	peaks := FindPeaks(blob, Params{Bandwidth: 50})
+	if len(peaks) != 1 || peaks[0].Dist(Point{100, 100}) > 1 {
+		t.Errorf("blob peaks = %v", peaks)
+	}
+}
+
+func TestAllKernelsFindTheMode(t *testing.T) {
+	centers := []Point{{250, 250}}
+	data := Generate(GenParams{Centers: centers, Spread: 20, PointsPerCluster: 400, Seed: 11})
+	for _, k := range []Kernel{Gaussian, Uniform, Triangular, Epanechnikov} {
+		t.Run(k.String(), func(t *testing.T) {
+			peaks := FindPeaks(data, Params{Bandwidth: 50, Kernel: k})
+			if len(peaks) == 0 {
+				t.Fatal("no peaks")
+			}
+			// The dominant peak must be near the center.
+			best := peaks[0]
+			for _, pk := range peaks {
+				if pk.Dist(centers[0]) < best.Dist(centers[0]) {
+					best = pk
+				}
+			}
+			if best.Dist(centers[0]) > 15 {
+				t.Errorf("kernel %v: peak %v not near %v", k, best, centers[0])
+			}
+		})
+	}
+}
+
+func TestMergePeaks(t *testing.T) {
+	peaks := []Point{{0, 0}, {1, 1}, {100, 100}, {0.5, 0.5}}
+	merged := MergePeaks(peaks, 5)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v, want 2 peaks", merged)
+	}
+	if merged[0].Dist(Point{0.5, 0.5}) > 1 {
+		t.Errorf("merged centroid = %v", merged[0])
+	}
+	if got := MergePeaks(nil, 5); got != nil {
+		t.Errorf("MergePeaks(nil) = %v", got)
+	}
+}
+
+func TestDensityMonotoneInData(t *testing.T) {
+	p := Params{Bandwidth: 50}.WithDefaults()
+	d1 := Density([]Point{{0, 0}}, nil, Point{0, 0}, p)
+	d2 := Density([]Point{{0, 0}, {1, 1}}, nil, Point{0, 0}, p)
+	if d2 <= d1 {
+		t.Errorf("density did not increase: %g then %g", d1, d2)
+	}
+}
+
+func TestPointsFloatsRoundTrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		ps := FloatsToPoints(xs)
+		back := PointsToFloats(ps)
+		n := len(xs) - len(xs)%2
+		if len(back) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			same := back[i] == xs[i] || (math.IsNaN(back[i]) && math.IsNaN(xs[i]))
+			if !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	data := []Point{{1, 2}, {3, 4}}
+	peaks := []Point{{5, 6}}
+	p, err := MakePacket(100, 1, 2, data, nil, peaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, w, pk, err := ParsePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || len(w) != 2 || w[0] != 1 || len(pk) != 1 || d[1] != (Point{3, 4}) || pk[0] != (Point{5, 6}) {
+		t.Errorf("round trip: %v %v", d, pk)
+	}
+	// Wrong format rejected.
+	bad := packet.MustNew(100, 1, 2, "%d", int64(1))
+	if _, _, _, err := ParsePacket(bad); err == nil {
+		t.Error("ParsePacket of wrong format: want error")
+	}
+}
+
+// TestDistributedMatchesSingleNode is the case study's correctness check:
+// the TBON-distributed mean-shift must find the same peaks as the
+// single-node version run over the union of all leaf data.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	centers := []Point{{150, 150}, {450, 450}}
+	params := Params{Bandwidth: 50}
+	const perLeaf = 150
+
+	tree, err := topology.ParseSpec("kary:2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+
+	// Build every leaf's data set (deterministic per rank).
+	leafData := map[core.Rank][]Point{}
+	var union []Point
+	for _, l := range leaves {
+		d := Generate(GenParams{
+			Centers: centers, Spread: 20, PointsPerCluster: perLeaf,
+			CenterJitter: 5, Seed: int64(l),
+		})
+		leafData[l] = d
+		union = append(union, d...)
+	}
+	want := FindPeaks(union, params)
+
+	reg := filter.NewRegistry()
+	Register(reg, params)
+	nw, err := core.NewNetwork(core.Config{
+		Topology: tree,
+		Registry: reg,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				pts, ws, peaks := LeafResult(leafData[be.Rank()], params)
+				out, err := MakePacket(p.Tag, p.StreamID, be.Rank(), pts, ws, peaks)
+				if err != nil {
+					return err
+				}
+				if err := be.SendPacket(out); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	st, err := nw.NewStream(core.StreamSpec{
+		Transformation:  FilterName,
+		Synchronization: "waitforall",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(100, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RecvTimeout(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotData, gotW, gotPeaks, err := ParsePacket(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotData) >= len(union) {
+		t.Errorf("condensed set (%d points) not smaller than raw union (%d)", len(gotData), len(union))
+	}
+	if tw := TotalWeight(gotW); math.Abs(tw-float64(len(union))) > 1e-6 {
+		t.Errorf("condensed mass = %g, want %d (conservation)", tw, len(union))
+	}
+	if len(gotPeaks) != len(want) {
+		t.Fatalf("distributed found %d peaks %v, single-node %d %v",
+			len(gotPeaks), gotPeaks, len(want), want)
+	}
+	for i := range want {
+		ok := false
+		for _, g := range gotPeaks {
+			if g.Dist(want[i]) <= 15 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("no distributed peak near single-node peak %v (got %v)", want[i], gotPeaks)
+		}
+	}
+	// Both must be near the true (unjittered) centers.
+	matchPeaks(t, gotPeaks, centers, 20)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gp := GenParams{Centers: []Point{{0, 0}}, Spread: 10, PointsPerCluster: 50, Seed: 42}
+	a := Generate(gp)
+	b := Generate(gp)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation is not deterministic for equal seeds")
+		}
+	}
+	gp.Seed = 43
+	c := Generate(gp)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestDefaultCenters(t *testing.T) {
+	cs := DefaultCenters(4, 600)
+	if len(cs) != 4 {
+		t.Fatalf("got %d centers", len(cs))
+	}
+	for i, a := range cs {
+		if a.X <= 0 || a.X >= 600 || a.Y <= 0 || a.Y >= 600 {
+			t.Errorf("center %d = %v outside field", i, a)
+		}
+		for _, b := range cs[i+1:] {
+			if a.Dist(b) < 100 {
+				t.Errorf("centers %v and %v too close", a, b)
+			}
+		}
+	}
+}
+
+func BenchmarkShift1000(b *testing.B) {
+	data := Generate(GenParams{
+		Centers: []Point{{200, 200}}, Spread: 30, PointsPerCluster: 1000, Seed: 1})
+	p := Params{Bandwidth: 50}.WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shift(data, nil, Point{180, 220}, p)
+	}
+}
+
+func BenchmarkFindPeaks2x500(b *testing.B) {
+	data := Generate(GenParams{
+		Centers: []Point{{150, 150}, {450, 450}}, Spread: 25, PointsPerCluster: 500, Seed: 1})
+	p := Params{Bandwidth: 50}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FindPeaks(data, p)
+	}
+}

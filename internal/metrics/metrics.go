@@ -1,0 +1,171 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness uses: streaming summary statistics, stopwatch timers, and
+// fixed-width table rendering for reproducing the paper's figures as text.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates streaming statistics over float64 observations.
+// The zero value is ready to use. Not safe for concurrent use.
+type Summary struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDuration records a duration in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the observation count.
+func (s *Summary) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for no data).
+func (s *Summary) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 points).
+func (s *Summary) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var t float64
+	for _, x := range s.xs {
+		t += (x - m) * (x - m)
+	}
+	return math.Sqrt(t / float64(len(s.xs)-1))
+}
+
+// Min returns the smallest observation (0 for no data).
+func (s *Summary) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for no data).
+func (s *Summary) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p'th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Table renders experiment series as a fixed-width text table, the harness's
+// stand-in for the paper's plots.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch x := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case time.Duration:
+			if x != 0 && x < time.Second {
+				row[i] = x.Round(time.Microsecond).String()
+			} else {
+				row[i] = fmt.Sprintf("%.3fs", x.Seconds())
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

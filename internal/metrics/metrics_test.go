@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean())
+	}
+	// Sample stdev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("P50 = %g", got)
+	}
+	if got := s.Percentile(95); got != 95 {
+		t.Errorf("P95 = %g", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %g", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %g", got)
+	}
+	if got := s.Percentile(150); got != 100 {
+		t.Errorf("P150 = %g", got)
+	}
+}
+
+func TestSummaryDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Errorf("Mean = %g, want 1.5", s.Mean())
+	}
+}
+
+// Property: Min <= Mean <= Max and percentiles are monotone.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		if s.Min() > s.Max() {
+			return false
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			// Mean of large-magnitude values can lose precision; tolerate
+			// only tiny drift.
+			if math.Abs(s.Mean()) < 1e12 {
+				return false
+			}
+		}
+		return s.Percentile(25) <= s.Percentile(75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig 4", "scale", "single", "flat", "deep")
+	tb.AddRow(16, 1.25, 0.5, 0.51)
+	tb.AddRow(324, 30.0, 9.111, time.Duration(2500*time.Millisecond))
+	out := tb.String()
+	for _, want := range []string{"## Fig 4", "scale", "single", "324", "1.250", "2.500s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,372 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (all integers little-endian):
+//
+//	magic     uint16  0x7B0E ("TBOE")
+//	version   uint8   1
+//	tag       int32
+//	streamID  uint32
+//	srcRank   int32
+//	fmtLen    uint16
+//	format    fmtLen bytes
+//	payload   per-directive encoding (see below)
+//
+// Per-directive payload encodings:
+//
+//	%c   1 byte
+//	%d   8 bytes (two's complement)
+//	%f   8 bytes (IEEE-754 bits)
+//	%s   uint32 length + bytes
+//	%a*  uint32 element count + repeated element encodings
+const (
+	wireMagic   uint16 = 0x7B0E
+	wireVersion uint8  = 1
+)
+
+// MaxWireSize is the largest encoded packet Decode will accept, a defence
+// against corrupt length prefixes on real sockets.
+const MaxWireSize = 1 << 28 // 256 MiB
+
+// ErrWire reports a malformed wire-format packet.
+var ErrWire = errors.New("packet: malformed wire data")
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func (p *Packet) EncodedSize() int {
+	n := 2 + 1 + 4 + 4 + 4 + 2 + len(p.Format)
+	for i, d := range p.dirs {
+		switch d {
+		case DirByte:
+			n++
+		case DirInt, DirFloat:
+			n += 8
+		case DirString:
+			n += 4 + len(p.values[i].(string))
+		case DirByteArray:
+			n += 4 + len(p.values[i].([]byte))
+		case DirIntArray:
+			n += 4 + 8*len(p.values[i].([]int64))
+		case DirFloatArray:
+			n += 4 + 8*len(p.values[i].([]float64))
+		case DirStringArray:
+			ss := p.values[i].([]string)
+			n += 4
+			for _, s := range ss {
+				n += 4 + len(s)
+			}
+		}
+	}
+	return n
+}
+
+// Encode serializes the packet to its binary wire form.
+func (p *Packet) Encode() []byte {
+	buf := make([]byte, 0, p.EncodedSize())
+	buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
+	buf = append(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Tag))
+	buf = binary.LittleEndian.AppendUint32(buf, p.StreamID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.SrcRank))
+	if len(p.Format) > math.MaxUint16 {
+		panic("packet: format string too long")
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Format)))
+	buf = append(buf, p.Format...)
+	for i, d := range p.dirs {
+		switch d {
+		case DirByte:
+			buf = append(buf, p.values[i].(byte))
+		case DirInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p.values[i].(int64)))
+		case DirFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.values[i].(float64)))
+		case DirString:
+			s := p.values[i].(string)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		case DirByteArray:
+			b := p.values[i].([]byte)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+			buf = append(buf, b...)
+		case DirIntArray:
+			xs := p.values[i].([]int64)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+			for _, x := range xs {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+			}
+		case DirFloatArray:
+			xs := p.values[i].([]float64)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+			for _, x := range xs {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+			}
+		case DirStringArray:
+			ss := p.values[i].([]string)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ss)))
+			for _, s := range ss {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	return buf
+}
+
+// decoder is a bounds-checked cursor over wire bytes.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if n < 0 || d.off+n > len(d.b) {
+		return fmt.Errorf("%w: truncated at offset %d (need %d of %d)", ErrWire, d.off, n, len(d.b))
+	}
+	return nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+// arrayLen validates an element count against the remaining buffer so a
+// corrupt count cannot trigger a huge allocation. elemSize is the minimum
+// encoded size of one element.
+func (d *decoder) arrayLen(elemSize int) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(n) > (len(d.b)-d.off)/max(elemSize, 1) {
+		return 0, fmt.Errorf("%w: array count %d exceeds remaining data", ErrWire, n)
+	}
+	return int(n), nil
+}
+
+// Decode parses a packet from its binary wire form. The payload byte slices
+// returned share memory with b for %ac directives; callers that retain the
+// packet beyond the life of b must copy.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) > MaxWireSize {
+		return nil, fmt.Errorf("%w: %d bytes exceeds MaxWireSize", ErrWire, len(b))
+	}
+	d := &decoder{b: b}
+	magic, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if magic != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrWire, magic)
+	}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrWire, ver)
+	}
+	tag, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	streamID, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	src, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	fmtLen, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	fmtBytes, err := d.bytes(int(fmtLen))
+	if err != nil {
+		return nil, err
+	}
+	format := string(fmtBytes)
+	dirs, err := ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]any, len(dirs))
+	for i, dir := range dirs {
+		switch dir {
+		case DirByte:
+			v, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			values[i] = v
+		case DirInt:
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			values[i] = int64(v)
+		case DirFloat:
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			values[i] = math.Float64frombits(v)
+		case DirString:
+			n, err := d.arrayLen(1)
+			if err != nil {
+				return nil, err
+			}
+			sb, err := d.bytes(n)
+			if err != nil {
+				return nil, err
+			}
+			values[i] = string(sb)
+		case DirByteArray:
+			n, err := d.arrayLen(1)
+			if err != nil {
+				return nil, err
+			}
+			bb, err := d.bytes(n)
+			if err != nil {
+				return nil, err
+			}
+			values[i] = bb
+		case DirIntArray:
+			n, err := d.arrayLen(8)
+			if err != nil {
+				return nil, err
+			}
+			xs := make([]int64, n)
+			for j := range xs {
+				v, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				xs[j] = int64(v)
+			}
+			values[i] = xs
+		case DirFloatArray:
+			n, err := d.arrayLen(8)
+			if err != nil {
+				return nil, err
+			}
+			xs := make([]float64, n)
+			for j := range xs {
+				v, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				xs[j] = math.Float64frombits(v)
+			}
+			values[i] = xs
+		case DirStringArray:
+			n, err := d.arrayLen(4)
+			if err != nil {
+				return nil, err
+			}
+			ss := make([]string, n)
+			for j := range ss {
+				m, err := d.arrayLen(1)
+				if err != nil {
+					return nil, err
+				}
+				sb, err := d.bytes(m)
+				if err != nil {
+					return nil, err
+				}
+				ss[j] = string(sb)
+			}
+			values[i] = ss
+		}
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(b)-d.off)
+	}
+	return &Packet{
+		Tag:      int32(tag),
+		StreamID: streamID,
+		SrcRank:  Rank(int32(src)),
+		Format:   format,
+		dirs:     dirs,
+		values:   values,
+	}, nil
+}
+
+// WriteTo writes the packet to w with a uint32 length prefix, the framing
+// used by the TCP transport. It implements part of io.WriterTo.
+func (p *Packet) WriteTo(w io.Writer) (int64, error) {
+	enc := p.Encode()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	n1, err := w.Write(hdr[:])
+	if err != nil {
+		return int64(n1), err
+	}
+	n2, err := w.Write(enc)
+	return int64(n1 + n2), err
+}
+
+// ReadFrom reads one length-prefixed packet from r, the inverse of WriteTo.
+func ReadFrom(r io.Reader) (*Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxWireSize {
+		return nil, fmt.Errorf("%w: frame length %d exceeds MaxWireSize", ErrWire, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("packet: short frame: %w", err)
+	}
+	return Decode(buf)
+}

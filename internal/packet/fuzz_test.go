@@ -1,0 +1,63 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to a decodable packet with
+// identical header fields (decode/encode is idempotent on valid inputs).
+func FuzzDecode(f *testing.F) {
+	seeds := []*Packet{
+		MustNew(100, 0, 0, ""),
+		MustNew(101, 7, 3, "%d %f %s", int64(-1), 2.5, "x"),
+		MustNew(102, 7, 3, "%ad %af %as %ac",
+			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
+	}
+	for _, p := range seeds {
+		f.Add(p.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x0E, 0x7B, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := p.Encode()
+		q, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet failed: %v", err)
+		}
+		if q.Tag != p.Tag || q.StreamID != p.StreamID || q.SrcRank != p.SrcRank || q.Format != p.Format {
+			t.Fatalf("headers changed across re-encode: %v vs %v", p, q)
+		}
+		if !bytes.Equal(re, q.Encode()) {
+			t.Fatal("encode not stable across decode/encode cycle")
+		}
+	})
+}
+
+// FuzzFormatRoundTrip fuzzes format strings through the parser: parsing
+// must never panic, and a parse-accepted format must render back into
+// directives consistently.
+func FuzzFormatRoundTrip(f *testing.F) {
+	for _, s := range []string{"", "%d", "%d %f %s", "%ad %af %as %ac %c", "%x", "nonsense"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, format string) {
+		dirs, err := ParseFormat(format)
+		if err != nil {
+			return
+		}
+		for _, d := range dirs {
+			if d == DirInvalid {
+				t.Fatalf("ParseFormat(%q) accepted an invalid directive", format)
+			}
+			if re, ok := parseDirective(d.String()); !ok || re != d {
+				t.Fatalf("directive %v does not round-trip through %q", d, d.String())
+			}
+		}
+	})
+}

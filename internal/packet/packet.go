@@ -1,0 +1,380 @@
+// Package packet implements the application-level packet abstraction used
+// throughout the TBON. A packet carries a typed payload described by an
+// MRNet-style format string, a tag identifying the logical message type, the
+// stream it travels on, and the rank of the node that produced it.
+//
+// Format strings are space-separated conversion directives:
+//
+//	%c    one byte                %ac   []byte
+//	%d    int64                   %ad   []int64
+//	%f    float64                 %af   []float64
+//	%s    string                  %as   []string
+//
+// The directives describe, positionally, the values held by the packet.
+// Encoding to and decoding from a binary wire form is implemented in
+// encode.go; counted references for zero-copy multicast in refcount.go.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Well-known tag values. Tags at or above TagFirstApplication are free for
+// application use; tags below it are reserved for TBON control traffic.
+const (
+	// TagControl marks internal control messages (stream creation, filter
+	// loading, shutdown, topology updates).
+	TagControl int32 = iota
+	// TagAck acknowledges a control message.
+	TagAck
+	// TagEvent carries failure/recovery event notifications.
+	TagEvent
+	// TagFirstApplication is the first tag available to applications.
+	TagFirstApplication int32 = 100
+)
+
+// Rank identifies a node in the overlay. Ranks are assigned densely by the
+// topology: the front-end is rank 0, internal nodes and back-ends follow in
+// breadth-first order.
+type Rank int32
+
+// UnknownRank marks a packet whose origin is not (yet) known.
+const UnknownRank Rank = -1
+
+// Directive is a single parsed conversion directive from a format string.
+type Directive uint8
+
+// The parsed directive kinds, one per format token.
+const (
+	DirInvalid     Directive = iota
+	DirByte                  // %c
+	DirInt                   // %d
+	DirFloat                 // %f
+	DirString                // %s
+	DirByteArray             // %ac
+	DirIntArray              // %ad
+	DirFloatArray            // %af
+	DirStringArray           // %as
+)
+
+// String returns the format token for the directive.
+func (d Directive) String() string {
+	switch d {
+	case DirByte:
+		return "%c"
+	case DirInt:
+		return "%d"
+	case DirFloat:
+		return "%f"
+	case DirString:
+		return "%s"
+	case DirByteArray:
+		return "%ac"
+	case DirIntArray:
+		return "%ad"
+	case DirFloatArray:
+		return "%af"
+	case DirStringArray:
+		return "%as"
+	}
+	return "%!"
+}
+
+// ErrBadFormat reports a malformed format string.
+var ErrBadFormat = errors.New("packet: malformed format string")
+
+// ErrArity reports a mismatch between a format string and the number of
+// values supplied.
+var ErrArity = errors.New("packet: format/value arity mismatch")
+
+// ErrType reports a value whose dynamic type does not match its directive.
+var ErrType = errors.New("packet: value type does not match format directive")
+
+// ParseFormat parses a format string into its directives.
+func ParseFormat(format string) ([]Directive, error) {
+	if strings.TrimSpace(format) == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(format)
+	dirs := make([]Directive, 0, len(fields))
+	for _, f := range fields {
+		d, ok := parseDirective(f)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad directive %q in %q", ErrBadFormat, f, format)
+		}
+		dirs = append(dirs, d)
+	}
+	return dirs, nil
+}
+
+func parseDirective(tok string) (Directive, bool) {
+	switch tok {
+	case "%c":
+		return DirByte, true
+	case "%d":
+		return DirInt, true
+	case "%f":
+		return DirFloat, true
+	case "%s":
+		return DirString, true
+	case "%ac":
+		return DirByteArray, true
+	case "%ad":
+		return DirIntArray, true
+	case "%af":
+		return DirFloatArray, true
+	case "%as":
+		return DirStringArray, true
+	}
+	return DirInvalid, false
+}
+
+// Packet is an application-level message. Packets are immutable once
+// constructed; filters produce new packets rather than mutating inputs, which
+// is what makes counted references safe for zero-copy multicast.
+type Packet struct {
+	// Tag identifies the logical message type.
+	Tag int32
+	// StreamID identifies the stream this packet travels on. Zero means
+	// "no stream" (control traffic).
+	StreamID uint32
+	// SrcRank is the rank of the node that created the packet.
+	SrcRank Rank
+	// Format is the format string describing Values.
+	Format string
+
+	dirs   []Directive
+	values []any
+}
+
+// New constructs a packet, validating the values against the format string.
+func New(tag int32, streamID uint32, src Rank, format string, values ...any) (*Packet, error) {
+	dirs, err := ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) != len(values) {
+		return nil, fmt.Errorf("%w: format %q has %d directives, got %d values",
+			ErrArity, format, len(dirs), len(values))
+	}
+	vals := make([]any, len(values))
+	for i, v := range values {
+		cv, err := coerce(dirs[i], v)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		vals[i] = cv
+	}
+	return &Packet{
+		Tag:      tag,
+		StreamID: streamID,
+		SrcRank:  src,
+		Format:   format,
+		dirs:     dirs,
+		values:   vals,
+	}, nil
+}
+
+// MustNew is New but panics on error; intended for statically correct
+// call sites such as tests and built-in control messages.
+func MustNew(tag int32, streamID uint32, src Rank, format string, values ...any) *Packet {
+	p, err := New(tag, streamID, src, format, values...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// coerce normalizes v to the canonical Go type for directive d, accepting
+// the common convertible types so callers can pass int literals and the like.
+func coerce(d Directive, v any) (any, error) {
+	switch d {
+	case DirByte:
+		switch x := v.(type) {
+		case byte:
+			return x, nil
+		case int:
+			if x < 0 || x > 255 {
+				return nil, fmt.Errorf("%w: int %d out of byte range", ErrType, x)
+			}
+			return byte(x), nil
+		}
+	case DirInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case uint32:
+			return int64(x), nil
+		case Rank:
+			return int64(x), nil
+		}
+	case DirFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case DirString:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case DirByteArray:
+		if x, ok := v.([]byte); ok {
+			return x, nil
+		}
+	case DirIntArray:
+		switch x := v.(type) {
+		case []int64:
+			return x, nil
+		case []int:
+			out := make([]int64, len(x))
+			for i, e := range x {
+				out[i] = int64(e)
+			}
+			return out, nil
+		}
+	case DirFloatArray:
+		if x, ok := v.([]float64); ok {
+			return x, nil
+		}
+	case DirStringArray:
+		if x, ok := v.([]string); ok {
+			return x, nil
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown directive", ErrBadFormat)
+	}
+	return nil, fmt.Errorf("%w: got %T for %s", ErrType, v, d)
+}
+
+// NumValues returns the number of payload values in the packet.
+func (p *Packet) NumValues() int { return len(p.values) }
+
+// Directives returns the parsed directives. The returned slice must not be
+// modified.
+func (p *Packet) Directives() []Directive { return p.dirs }
+
+// Value returns the i'th payload value.
+func (p *Packet) Value(i int) any { return p.values[i] }
+
+// Values returns all payload values. The returned slice must not be modified.
+func (p *Packet) Values() []any { return p.values }
+
+// Int returns the i'th value as an int64, or an error if it is not one.
+func (p *Packet) Int(i int) (int64, error) {
+	if err := p.check(i, DirInt); err != nil {
+		return 0, err
+	}
+	return p.values[i].(int64), nil
+}
+
+// Float returns the i'th value as a float64.
+func (p *Packet) Float(i int) (float64, error) {
+	if err := p.check(i, DirFloat); err != nil {
+		return 0, err
+	}
+	return p.values[i].(float64), nil
+}
+
+// String returns a human-readable rendering of the packet header and payload.
+func (p *Packet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet{tag=%d stream=%d src=%d fmt=%q", p.Tag, p.StreamID, p.SrcRank, p.Format)
+	for i, v := range p.values {
+		if i == 0 {
+			b.WriteString(" [")
+		} else {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%v", v)
+	}
+	if len(p.values) > 0 {
+		b.WriteString("]")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Str returns the i'th value as a string.
+func (p *Packet) Str(i int) (string, error) {
+	if err := p.check(i, DirString); err != nil {
+		return "", err
+	}
+	return p.values[i].(string), nil
+}
+
+// Byte returns the i'th value as a byte.
+func (p *Packet) Byte(i int) (byte, error) {
+	if err := p.check(i, DirByte); err != nil {
+		return 0, err
+	}
+	return p.values[i].(byte), nil
+}
+
+// Bytes returns the i'th value as a []byte. The returned slice is shared
+// with the packet and must not be modified.
+func (p *Packet) Bytes(i int) ([]byte, error) {
+	if err := p.check(i, DirByteArray); err != nil {
+		return nil, err
+	}
+	return p.values[i].([]byte), nil
+}
+
+// IntArray returns the i'th value as a []int64 (shared, do not modify).
+func (p *Packet) IntArray(i int) ([]int64, error) {
+	if err := p.check(i, DirIntArray); err != nil {
+		return nil, err
+	}
+	return p.values[i].([]int64), nil
+}
+
+// FloatArray returns the i'th value as a []float64 (shared, do not modify).
+func (p *Packet) FloatArray(i int) ([]float64, error) {
+	if err := p.check(i, DirFloatArray); err != nil {
+		return nil, err
+	}
+	return p.values[i].([]float64), nil
+}
+
+// StringArray returns the i'th value as a []string (shared, do not modify).
+func (p *Packet) StringArray(i int) ([]string, error) {
+	if err := p.check(i, DirStringArray); err != nil {
+		return nil, err
+	}
+	return p.values[i].([]string), nil
+}
+
+func (p *Packet) check(i int, want Directive) error {
+	if i < 0 || i >= len(p.dirs) {
+		return fmt.Errorf("packet: index %d out of range (%d values)", i, len(p.dirs))
+	}
+	if p.dirs[i] != want {
+		return fmt.Errorf("%w: value %d is %s, want %s", ErrType, i, p.dirs[i], want)
+	}
+	return nil
+}
+
+// WithStream returns a copy of the packet re-addressed to the given stream.
+// The payload is shared, not copied.
+func (p *Packet) WithStream(id uint32) *Packet {
+	q := *p
+	q.StreamID = id
+	return &q
+}
+
+// WithSrc returns a copy of the packet with a new source rank. The payload
+// is shared, not copied.
+func (p *Packet) WithSrc(r Rank) *Packet {
+	q := *p
+	q.SrcRank = r
+	return &q
+}

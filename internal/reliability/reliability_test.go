@@ -1,0 +1,309 @@
+package reliability
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eqclass"
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// packetAlias keeps the eqclass feeding helpers readable.
+type packetAlias = packet.Packet
+
+// eqclassPacket wraps a class-set packet built by the test helpers.
+type eqclassPacket struct{ p *packet.Packet }
+
+func TestRecoverInternalNode(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:2^2") // 0; 1,2; 3,4,5,6
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Recover(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NewParent != 0 {
+		t.Errorf("NewParent = %d, want 0", plan.NewParent)
+	}
+	if len(plan.Orphans) != 2 || plan.Orphans[0] != 3 || plan.Orphans[1] != 4 {
+		t.Errorf("Orphans = %v", plan.Orphans)
+	}
+	if plan.Tree.Len() != 6 {
+		t.Fatalf("recovered tree has %d nodes, want 6", plan.Tree.Len())
+	}
+	// Orphans 3,4 (old) are now children of the root.
+	for _, old := range plan.Orphans {
+		nr := plan.Remap[old]
+		if nr == topology.NoRank {
+			t.Fatalf("orphan %d erased", old)
+		}
+		if plan.Tree.Parent(nr) != 0 {
+			t.Errorf("orphan %d (new %d) has parent %d, want 0", old, nr, plan.Tree.Parent(nr))
+		}
+	}
+	// Leaf count is preserved: no data sources were lost.
+	if got := len(plan.Tree.Leaves()); got != 4 {
+		t.Errorf("recovered tree has %d leaves, want 4", got)
+	}
+	if plan.Remap[1] != topology.NoRank {
+		t.Error("failed rank still mapped")
+	}
+}
+
+func TestRecoverLeaf(t *testing.T) {
+	tree, _ := topology.ParseSpec("kary:2^2")
+	plan, err := Recover(tree, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Orphans) != 0 {
+		t.Errorf("leaf failure has orphans: %v", plan.Orphans)
+	}
+	if got := len(plan.Tree.Leaves()); got != 3 {
+		t.Errorf("leaves after leaf failure = %d, want 3", got)
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	tree, _ := topology.ParseSpec("kary:2^2")
+	if _, err := Recover(tree, 0); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("front-end failure: %v", err)
+	}
+	if _, err := Recover(tree, 99); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("unknown rank: %v", err)
+	}
+}
+
+func TestRecoverChain(t *testing.T) {
+	// Two successive failures keep the tree valid and all leaves attached.
+	tree, _ := topology.ParseSpec("kary:2^3") // 15 nodes
+	p1, err := Recover(tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail another internal node of the recovered tree.
+	var internal Rank = topology.NoRank
+	for _, r := range p1.Tree.InternalNodes() {
+		internal = r
+		break
+	}
+	if internal == topology.NoRank {
+		t.Fatal("no internal node to fail")
+	}
+	p2, err := Recover(p1.Tree, internal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p2.Tree.Leaves()); got != 8 {
+		t.Errorf("leaves after two failures = %d, want 8", got)
+	}
+}
+
+func TestComposeStatesEqClass(t *testing.T) {
+	// Build the lost parent's state two ways: directly (the state it had
+	// before dying) and by composition of its children's states. They must
+	// match exactly.
+	mkPkt := func(key string, member int64) *eqclassPacket {
+		s := eqclass.NewSet()
+		s.Add(key, member)
+		p, err := s.ToPacket(100, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &eqclassPacket{p: p}
+	}
+
+	parent := eqclass.NewFilter()
+	childA := eqclass.NewFilter()
+	childB := eqclass.NewFilter()
+	feed := func(f *eqclass.Filter, pkts ...*eqclassPacket) {
+		t.Helper()
+		for _, ep := range pkts {
+			out, err := f.Transform([]*packetAlias{ep.p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// What the child forwards, the parent consumes.
+			if out != nil {
+				if _, err := parent.Transform(out); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	feed(childA, mkPkt("linux", 1), mkPkt("linux", 2))
+	feed(childB, mkPkt("aix", 3), mkPkt("linux", 1)) // overlap across children
+
+	wantState, err := parent.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := childA.State()
+	sb, _ := childB.State()
+	got, err := ComposeStates(func() filter.StatefulTransformation {
+		return eqclass.NewFilter()
+	}, [][]byte{sa, sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare semantically: both states must suppress the same pairs.
+	wantF := eqclass.NewFilter()
+	gotF := eqclass.NewFilter()
+	if err := wantF.SetState(wantState); err != nil {
+		t.Fatal(err)
+	}
+	if err := gotF.SetState(got); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []*eqclassPacket{mkPkt("linux", 1), mkPkt("linux", 2), mkPkt("aix", 3)} {
+		w, err1 := wantF.Transform([]*packetAlias{probe.p})
+		g, err2 := gotF.Transform([]*packetAlias{probe.p})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if (w == nil) != (g == nil) {
+			t.Errorf("recovered state disagrees with lost state on %v", probe.p)
+		}
+	}
+	// A genuinely new pair passes both.
+	novel := mkPkt("hpux", 9)
+	if w, _ := wantF.Transform([]*packetAlias{novel.p}); w == nil {
+		t.Error("lost state suppressed novel pair")
+	}
+	if g, _ := gotF.Transform([]*packetAlias{novel.p}); g == nil {
+		t.Error("recovered state suppressed novel pair")
+	}
+}
+
+func TestComposeStatesSkipsEmptyAndRejectsGarbage(t *testing.T) {
+	ctor := func() filter.StatefulTransformation { return eqclass.NewFilter() }
+	if _, err := ComposeStates(ctor, [][]byte{nil, {}}); err != nil {
+		t.Errorf("empty states: %v", err)
+	}
+	if _, err := ComposeStates(ctor, [][]byte{{0xde, 0xad}}); err == nil {
+		t.Error("garbage state: want error")
+	}
+}
+
+type nonMerger struct{ filter.Identity }
+
+func (nonMerger) State() ([]byte, error) { return []byte{1}, nil }
+func (nonMerger) SetState([]byte) error  { return nil }
+
+func TestComposeStatesRequiresMerger(t *testing.T) {
+	ctor := func() filter.StatefulTransformation { return nonMerger{} }
+	if _, err := ComposeStates(ctor, [][]byte{{1}}); err == nil {
+		t.Error("non-Merger filter: want error")
+	}
+}
+
+// TestSemanticEquivalenceAfterRecovery is the end-to-end check: the same
+// workload produces the same front-end answer on the original overlay and
+// on the recovered overlay (failed node removed, orphans adopted). The
+// reduction is a sum, whose per-leaf contributions are disjoint, so the
+// answer must be identical.
+func TestSemanticEquivalenceAfterRecovery(t *testing.T) {
+	run := func(tree *topology.Tree) float64 {
+		t.Helper()
+		nw, err := core.NewNetwork(core.Config{
+			Topology: tree,
+			OnBackEnd: func(be *core.BackEnd) error {
+				for {
+					p, err := be.Recv()
+					if err != nil {
+						return nil
+					}
+					// Contribution depends on identity, not rank, so it is
+					// stable across renumbering: use the leaf's position
+					// among leaves.
+					leaves := tree.Leaves()
+					var idx int
+					for i, l := range leaves {
+						if l == be.Rank() {
+							idx = i
+							break
+						}
+					}
+					if err := be.Send(p.StreamID, p.Tag, "%f", float64(1000+idx)); err != nil {
+						return nil
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Shutdown()
+		st, err := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Multicast(100, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Float(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	tree, _ := topology.ParseSpec("kary:3^2")
+	want := run(tree)
+	plan, err := Recover(tree, 2) // lose one mid-level comm process
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(plan.Tree)
+	if got != want {
+		t.Errorf("recovered overlay computed %g, original %g", got, want)
+	}
+}
+
+// Property: recovery never loses a leaf and always produces a valid tree,
+// for any internal-node failure in any random tree.
+func TestQuickRecoveryPreservesLeaves(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		sz := int(szRaw%60) + 5
+		parents := make([]Rank, sz)
+		parents[0] = topology.NoRank
+		for i := 1; i < sz; i++ {
+			m := (int64(i) + seed) % int64(i) // parent < i
+			if m < 0 {
+				m += int64(i)
+			}
+			parents[i] = Rank(m)
+		}
+		tree, err := topology.FromParents(parents)
+		if err != nil {
+			return false
+		}
+		internal := tree.InternalNodes()
+		if len(internal) == 0 {
+			return true
+		}
+		vi := int(seed % int64(len(internal)))
+		if vi < 0 {
+			vi += len(internal)
+		}
+		victim := internal[vi]
+		plan, err := Recover(tree, victim)
+		if err != nil {
+			return false
+		}
+		return len(plan.Tree.Leaves()) == len(tree.Leaves())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

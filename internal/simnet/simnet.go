@@ -1,0 +1,115 @@
+// Package simnet models the cluster interconnect the paper's experiments ran
+// on (Gigabit Ethernet between ~3 GHz Pentium 4 workstations). Because this
+// reproduction runs all overlay processes as goroutines in one address
+// space, raw channel transfers are effectively free; simnet reintroduces the
+// communication cost term so that tree-shape effects that depend on transfer
+// time (front-end fan-in congestion, per-hop latency) appear at realistic
+// relative magnitudes.
+//
+// Two modes are provided and can be combined:
+//
+//   - Accounting: every Send adds the modeled transfer time to a per-node
+//     virtual clock, letting the harness report simulated wall times without
+//     actually sleeping.
+//   - Injection: every Send sleeps the modeled transfer time scaled by
+//     TimeScale, physically serializing link usage the way a NIC does.
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// Model describes one link's cost parameters.
+type Model struct {
+	// Latency is the fixed per-message cost (propagation + protocol).
+	Latency time.Duration
+	// Bandwidth is the link speed in bytes/second; zero means infinite.
+	Bandwidth float64
+}
+
+// GigE approximates the paper's interconnect: Gigabit Ethernet with
+// ~100 microsecond one-way message latency.
+var GigE = Model{Latency: 100 * time.Microsecond, Bandwidth: 125e6}
+
+// TransferTime returns the modeled time to move a message of the given
+// encoded size across the link.
+func (m Model) TransferTime(bytes int) time.Duration {
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(bytes) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Clock accumulates simulated time, safe for concurrent use.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Duration
+}
+
+// Advance adds d to the clock.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t += d
+	c.mu.Unlock()
+}
+
+// Elapsed returns the accumulated simulated time.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.t = 0
+	c.mu.Unlock()
+}
+
+// Link wraps a transport.Link with the cost model. If Clock is non-nil the
+// modeled transfer time of every Send is accumulated there; if TimeScale is
+// positive the sender additionally sleeps TransferTime*TimeScale, physically
+// serializing the link.
+type Link struct {
+	transport.Link
+	Model Model
+	// Clock, if non-nil, accumulates modeled transfer time.
+	Clock *Clock
+	// TimeScale scales injected real delay; zero disables injection.
+	TimeScale float64
+
+	mu sync.Mutex // serializes injected delays, modeling a single NIC queue
+}
+
+// Send applies the cost model and forwards to the wrapped link.
+func (l *Link) Send(p *packet.Packet) error {
+	d := l.Model.TransferTime(p.EncodedSize())
+	if l.Clock != nil {
+		l.Clock.Advance(d)
+	}
+	if l.TimeScale > 0 {
+		l.mu.Lock()
+		time.Sleep(time.Duration(float64(d) * l.TimeScale))
+		l.mu.Unlock()
+	}
+	return l.Link.Send(p)
+}
+
+// Wrap decorates every link of every endpoint with the cost model. All
+// wrapped links share the provided clock (which may be nil).
+func Wrap(eps []*transport.Endpoint, m Model, clock *Clock, timeScale float64) {
+	for _, ep := range eps {
+		if ep.Parent != nil {
+			ep.Parent = &Link{Link: ep.Parent, Model: m, Clock: clock, TimeScale: timeScale}
+		}
+		for i, c := range ep.Children {
+			ep.Children[i] = &Link{Link: c, Model: m, Clock: clock, TimeScale: timeScale}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package topology
+
+import "fmt"
+
+// Flat builds the paper's 1-deep ("shallow") organization: a front-end
+// directly connected to n back-ends. This is the simple scaling solution
+// whose front-end fan-in becomes the bottleneck at large scale.
+func Flat(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: flat tree needs at least 1 back-end, got %d", ErrInvalid, n)
+	}
+	parents := make([]Rank, n+1)
+	parents[0] = NoRank
+	for i := 1; i <= n; i++ {
+		parents[i] = 0
+	}
+	return FromParents(parents)
+}
+
+// KAry builds a fully balanced k-ary tree: every non-leaf node has exactly
+// fanout children and all back-ends sit at depth levels below the front-end.
+// The tree has fanout^depth back-ends. KAry(f, 1) is Flat(f);
+// KAry(f, 2) is the paper's 2-deep ("deep") organization.
+func KAry(fanout, depth int) (*Tree, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("%w: k-ary fan-out must be >= 1, got %d", ErrInvalid, fanout)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("%w: k-ary depth must be >= 1, got %d", ErrInvalid, depth)
+	}
+	total := 1
+	width := 1
+	for l := 1; l <= depth; l++ {
+		if width > 1<<24/fanout {
+			return nil, fmt.Errorf("%w: k-ary %d^%d too large", ErrInvalid, fanout, depth)
+		}
+		width *= fanout
+		total += width
+	}
+	parents := make([]Rank, total)
+	parents[0] = NoRank
+	// Breadth-first: level l starts at index start(l); each node i at level l
+	// has parent (i - levelStart)/fanout + prevLevelStart.
+	levelStart := 0
+	prevStart := 0
+	width = 1
+	idx := 1
+	for l := 1; l <= depth; l++ {
+		prevStart = levelStart
+		levelStart = idx
+		width *= fanout
+		for j := 0; j < width; j++ {
+			parents[idx] = Rank(prevStart + j/fanout)
+			idx++
+		}
+	}
+	return FromParents(parents)
+}
+
+// Balanced builds the shallowest k-ary-shaped tree that connects exactly
+// leaves back-ends with no node exceeding the given fan-out. Unlike KAry it
+// does not require leaves to be a power of fanout: the last internal level
+// distributes back-ends as evenly as possible. Balanced(n, f) with n <= f
+// degenerates to Flat(n).
+func Balanced(leaves, fanout int) (*Tree, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("%w: need at least 1 back-end, got %d", ErrInvalid, leaves)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("%w: balanced fan-out must be >= 2, got %d", ErrInvalid, fanout)
+	}
+	if leaves <= fanout {
+		return Flat(leaves)
+	}
+	// Number of internal levels needed so that fanout^levels >= leaves.
+	levels := 0
+	cap := 1
+	for cap < leaves {
+		cap *= fanout
+		levels++
+	}
+	// Width of each level: level 0 is the root (width 1); the last level is
+	// the back-ends (width = leaves). Intermediate level l has
+	// ceil(width[l+1] / fanout) nodes.
+	widths := make([]int, levels+1)
+	widths[levels] = leaves
+	for l := levels - 1; l >= 1; l-- {
+		widths[l] = (widths[l+1] + fanout - 1) / fanout
+	}
+	widths[0] = 1
+
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	parents := make([]Rank, total)
+	parents[0] = NoRank
+	start := make([]int, levels+1)
+	for l := 1; l <= levels; l++ {
+		start[l] = start[l-1] + widths[l-1]
+	}
+	for l := 1; l <= levels; l++ {
+		// Distribute widths[l] children over widths[l-1] parents as evenly
+		// as possible, preserving contiguity.
+		w, pw := widths[l], widths[l-1]
+		base, extra := w/pw, w%pw
+		idx := start[l]
+		for p := 0; p < pw; p++ {
+			c := base
+			if p < extra {
+				c++
+			}
+			for j := 0; j < c; j++ {
+				parents[idx] = Rank(start[l-1] + p)
+				idx++
+			}
+		}
+	}
+	return FromParents(parents)
+}
+
+// KNomial builds a k-nomial tree of the given order and dimension, the
+// skewed topology the paper lists alongside balanced k-ary trees. In a
+// k-nomial tree of dimension d, the root has d subtrees where subtree i is a
+// k-nomial tree of dimension i scaled by (k-1) siblings per dimension; a
+// binomial tree is KNomial(2, d). The tree has k^d total nodes.
+func KNomial(k, dim int) (*Tree, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: k-nomial order must be >= 2, got %d", ErrInvalid, k)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("%w: k-nomial dimension must be >= 1, got %d", ErrInvalid, dim)
+	}
+	total := 1
+	for i := 0; i < dim; i++ {
+		if total > 1<<24/k {
+			return nil, fmt.Errorf("%w: k-nomial %d^%d too large", ErrInvalid, k, dim)
+		}
+		total *= k
+	}
+	// Recursive-doubling construction: at step i (i = 0..dim-1) every
+	// existing node n (n < k^i) gains k-1 children n + m*k^i, m = 1..k-1.
+	parents := make([]Rank, total)
+	parents[0] = NoRank
+	count := 1
+	for i := 0; i < dim; i++ {
+		for n := 0; n < count; n++ {
+			for m := 1; m < k; m++ {
+				parents[n+m*count] = Rank(n)
+			}
+		}
+		count *= k
+	}
+	return FromParents(parents)
+}

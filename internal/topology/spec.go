@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a topology specification string. Four genera are
+// supported, mirroring MRNet's topology-generator vocabulary:
+//
+//	flat:N           front-end plus N back-ends (the paper's 1-deep tree)
+//	kary:F^D         balanced tree, fan-out F, back-ends at depth D (F^D leaves)
+//	knomial:K^D      k-nomial tree of order K and dimension D (K^D nodes)
+//	balanced:N,F     shallowest tree over N back-ends with max fan-out F
+//
+// Any other string is treated as an explicit tree: semicolon-separated
+// "parent:child,child,..." groups, e.g. "0:1,2;1:3,4;2:5,6". Ranks must be
+// dense, rooted at 0.
+func ParseSpec(spec string) (*Tree, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("%w: empty spec", ErrInvalid)
+	}
+	if genus, rest, ok := strings.Cut(spec, ":"); ok {
+		switch genus {
+		case "flat":
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%w: flat:%s: %v", ErrInvalid, rest, err)
+			}
+			return Flat(n)
+		case "kary":
+			f, d, err := parseCaret(rest)
+			if err != nil {
+				return nil, err
+			}
+			return KAry(f, d)
+		case "knomial":
+			k, d, err := parseCaret(rest)
+			if err != nil {
+				return nil, err
+			}
+			return KNomial(k, d)
+		case "balanced":
+			nf := strings.SplitN(rest, ",", 2)
+			if len(nf) != 2 {
+				return nil, fmt.Errorf("%w: balanced wants N,F: %q", ErrInvalid, rest)
+			}
+			n, err1 := strconv.Atoi(strings.TrimSpace(nf[0]))
+			f, err2 := strconv.Atoi(strings.TrimSpace(nf[1]))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: balanced:%s", ErrInvalid, rest)
+			}
+			return Balanced(n, f)
+		}
+	}
+	return parseExplicit(spec)
+}
+
+func parseCaret(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "^")
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: want F^D, got %q", ErrInvalid, s)
+	}
+	f, err1 := strconv.Atoi(strings.TrimSpace(a))
+	d, err2 := strconv.Atoi(strings.TrimSpace(b))
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("%w: want F^D, got %q", ErrInvalid, s)
+	}
+	return f, d, nil
+}
+
+func parseExplicit(spec string) (*Tree, error) {
+	type edge struct{ parent, child int }
+	var edges []edge
+	maxRank := 0
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		ps, cs, ok := strings.Cut(group, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: group %q missing ':'", ErrInvalid, group)
+		}
+		p, err := strconv.Atoi(strings.TrimSpace(ps))
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad parent in %q", ErrInvalid, group)
+		}
+		if p > maxRank {
+			maxRank = p
+		}
+		for _, c := range strings.Split(cs, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			ci, err := strconv.Atoi(c)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad child %q in %q", ErrInvalid, c, group)
+			}
+			if ci > maxRank {
+				maxRank = ci
+			}
+			edges = append(edges, edge{p, ci})
+		}
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: no edges in %q", ErrInvalid, spec)
+	}
+	parents := make([]Rank, maxRank+1)
+	for i := range parents {
+		parents[i] = NoRank
+	}
+	for _, e := range edges {
+		if e.child == 0 {
+			return nil, fmt.Errorf("%w: rank 0 cannot be a child", ErrInvalid)
+		}
+		if parents[e.child] != NoRank {
+			return nil, fmt.Errorf("%w: node %d has two parents", ErrInvalid, e.child)
+		}
+		parents[e.child] = Rank(e.parent)
+	}
+	for i := 1; i <= maxRank; i++ {
+		if parents[i] == NoRank {
+			return nil, fmt.Errorf("%w: node %d has no parent (ranks must be dense)", ErrInvalid, i)
+		}
+	}
+	return FromParents(parents)
+}

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// chanLink is one end of an in-process link built from a pair of buffered
+// channels. The buffer provides the bounded queueing (and therefore the
+// backpressure) that a TCP socket's kernel buffers provide in the real
+// system: a fast sender eventually blocks when its slow receiver falls
+// behind, which is exactly the effect that makes flat-tree front-ends a
+// bottleneck.
+type chanLink struct {
+	send chan *packet.Packet
+	recv chan *packet.Packet
+
+	ownClosed  chan struct{} // closed when this end Closes
+	peerClosed chan struct{} // closed when the peer end Closes
+	closeOnce  *sync.Once    // guards ownClosed
+}
+
+// DefaultChanBuffer is the per-direction packet buffer used when callers
+// pass a non-positive buffer size.
+const DefaultChanBuffer = 64
+
+// NewPair creates the two ends of an in-process link with the given
+// per-direction buffer capacity.
+func NewPair(buf int) (Link, Link) {
+	if buf <= 0 {
+		buf = DefaultChanBuffer
+	}
+	ab := make(chan *packet.Packet, buf)
+	ba := make(chan *packet.Packet, buf)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	a := &chanLink{
+		send: ab, recv: ba,
+		ownClosed: aClosed, peerClosed: bClosed,
+		closeOnce: &sync.Once{},
+	}
+	b := &chanLink{
+		send: ba, recv: ab,
+		ownClosed: bClosed, peerClosed: aClosed,
+		closeOnce: &sync.Once{},
+	}
+	return a, b
+}
+
+// Send delivers p to the peer, blocking while the buffer is full. It fails
+// with ErrClosed once either end has closed.
+func (l *chanLink) Send(p *packet.Packet) error {
+	// Fast-path check so a closed link fails even if buffer space remains.
+	select {
+	case <-l.ownClosed:
+		return ErrClosed
+	case <-l.peerClosed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case l.send <- p:
+		return nil
+	case <-l.ownClosed:
+		return ErrClosed
+	case <-l.peerClosed:
+		return ErrClosed
+	}
+}
+
+// Recv returns the next packet. After the peer closes, Recv drains any
+// packets already in flight and then reports io.EOF.
+func (l *chanLink) Recv() (*packet.Packet, error) {
+	select {
+	case p := <-l.recv:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-l.recv:
+		return p, nil
+	case <-l.ownClosed:
+		return l.drainOrEOF()
+	case <-l.peerClosed:
+		return l.drainOrEOF()
+	}
+}
+
+func (l *chanLink) drainOrEOF() (*packet.Packet, error) {
+	select {
+	case p := <-l.recv:
+		return p, nil
+	default:
+		return nil, io.EOF
+	}
+}
+
+// Close closes this end. Both ends observe the closure: the peer's pending
+// and future Sends fail, and its Recv drains then reports io.EOF.
+func (l *chanLink) Close() error {
+	l.closeOnce.Do(func() { close(l.ownClosed) })
+	return nil
+}
+
+// NewChanFabric wires an entire topology with in-process links, returning
+// one Endpoint per rank (indexed by rank). buf sets the per-direction
+// buffer; pass 0 for the default.
+func NewChanFabric(t *topology.Tree, buf int) []*Endpoint {
+	eps := make([]*Endpoint, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		eps[r] = &Endpoint{Rank: packet.Rank(r)}
+	}
+	for r := 0; r < t.Len(); r++ {
+		for _, c := range t.Children(topology.Rank(r)) {
+			parentEnd, childEnd := NewPair(buf)
+			eps[r].Children = append(eps[r].Children, parentEnd)
+			eps[c].Parent = childEnd
+		}
+	}
+	return eps
+}

@@ -1,0 +1,58 @@
+// Package transport provides the point-to-point FIFO channels that connect
+// TBON processes. Two interchangeable implementations are provided: an
+// in-process channel transport (the default substrate for many-node overlay
+// simulation — one goroutine-driven node per process rank) and a TCP
+// transport using length-prefixed packet frames, which exercises a real
+// network code path.
+//
+// A Link is reliable and FIFO in each direction, matching the paper's model
+// of processes "connected via FIFO channels" implemented over protocols
+// like TCP.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/packet"
+)
+
+// ErrClosed is returned by Send on a link whose either end has been closed.
+var ErrClosed = errors.New("transport: link closed")
+
+// Link is one end of a bidirectional, reliable, FIFO message channel.
+// Send and Recv are safe for concurrent use; Recv blocks until a packet
+// arrives or the link closes (then it returns io.EOF after draining any
+// packets already delivered).
+type Link interface {
+	Send(p *packet.Packet) error
+	Recv() (*packet.Packet, error)
+	Close() error
+}
+
+// Endpoint bundles the links a single tree node uses: one toward its parent
+// (nil for the front-end) and one per child, index-aligned with the
+// topology's child order.
+type Endpoint struct {
+	Rank     packet.Rank
+	Parent   Link
+	Children []Link
+}
+
+// Close closes every link owned by the endpoint, returning the first error.
+func (e *Endpoint) Close() error {
+	var first error
+	if e.Parent != nil {
+		if err := e.Parent.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, c := range e.Children {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// tcpLink adapts a net.Conn to the Link interface using the packet wire
+// format with uint32 length-prefix framing.
+type tcpLink struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	w      *bufio.Writer
+
+	recvMu sync.Mutex
+	r      *bufio.Reader
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewTCPLink wraps an established connection as a Link. The caller
+// relinquishes ownership of conn.
+func NewTCPLink(conn net.Conn) Link {
+	return &tcpLink{
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, 64<<10),
+		r:    bufio.NewReaderSize(conn, 64<<10),
+	}
+}
+
+func (l *tcpLink) Send(p *packet.Packet) error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if _, err := p.WriteTo(l.w); err != nil {
+		return l.mapErr(err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.mapErr(err)
+	}
+	return nil
+}
+
+func (l *tcpLink) Recv() (*packet.Packet, error) {
+	l.recvMu.Lock()
+	defer l.recvMu.Unlock()
+	p, err := packet.ReadFrom(l.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || isClosedConn(err) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+func (l *tcpLink) Close() error {
+	l.closeOnce.Do(func() { l.closeErr = l.conn.Close() })
+	return l.closeErr
+}
+
+func (l *tcpLink) mapErr(err error) error {
+	if errors.Is(err, net.ErrClosed) || isClosedConn(err) {
+		return ErrClosed
+	}
+	return err
+}
+
+func isClosedConn(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr)
+}
+
+// Dial establishes a TCP link to addr.
+func Dial(addr string) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPLink(conn), nil
+}
+
+// Listener accepts TCP links.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener on addr (use "127.0.0.1:0" for an ephemeral
+// local port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the listener's bound address.
+func (ln *Listener) Addr() string { return ln.l.Addr().String() }
+
+// Accept waits for the next inbound link.
+func (ln *Listener) Accept() (Link, error) {
+	conn, err := ln.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPLink(conn), nil
+}
+
+// Close stops the listener.
+func (ln *Listener) Close() error { return ln.l.Close() }
+
+// NewTCPFabric wires an entire topology with real TCP links over loopback,
+// returning one Endpoint per rank. This is the integration-test and
+// single-machine-deployment path; a distributed deployment would instead
+// have each process Dial its parent using the topology's Host fields.
+func NewTCPFabric(t *topology.Tree) ([]*Endpoint, error) {
+	eps := make([]*Endpoint, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		eps[r] = &Endpoint{Rank: packet.Rank(r)}
+	}
+	var openLinks []Link
+	fail := func(err error) ([]*Endpoint, error) {
+		for _, l := range openLinks {
+			l.Close()
+		}
+		return nil, err
+	}
+	for r := 0; r < t.Len(); r++ {
+		for _, c := range t.Children(topology.Rank(r)) {
+			ln, err := Listen("127.0.0.1:0")
+			if err != nil {
+				return fail(fmt.Errorf("transport: listen for edge %d->%d: %w", r, c, err))
+			}
+			type accepted struct {
+				link Link
+				err  error
+			}
+			acceptCh := make(chan accepted, 1)
+			go func() {
+				l, err := ln.Accept()
+				acceptCh <- accepted{l, err}
+			}()
+			childEnd, err := Dial(ln.Addr())
+			if err != nil {
+				ln.Close()
+				return fail(fmt.Errorf("transport: dial for edge %d->%d: %w", r, c, err))
+			}
+			acc := <-acceptCh
+			ln.Close()
+			if acc.err != nil {
+				childEnd.Close()
+				return fail(fmt.Errorf("transport: accept for edge %d->%d: %w", r, c, acc.err))
+			}
+			eps[r].Children = append(eps[r].Children, acc.link)
+			eps[c].Parent = childEnd
+			openLinks = append(openLinks, acc.link, childEnd)
+		}
+	}
+	return eps, nil
+}
