@@ -138,3 +138,26 @@ func BenchmarkTransports(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRecovery regenerates T-RECOVERY points: end-to-end live
+// failure recovery (heartbeat detection + grandparent adoption) on a
+// running overlay, per tree shape.
+func BenchmarkRecovery(b *testing.B) {
+	for _, shape := range []string{"kary:2^3", "kary:8^2"} {
+		b.Run(shape, func(b *testing.B) {
+			cfg := experiments.DefaultRecoveryConfig()
+			cfg.Shapes = []string{shape}
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunRecovery(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rows[0].Correct {
+					b.Fatal("post-recovery reduction incorrect")
+				}
+				b.ReportMetric(rows[0].Detection.Seconds()*1e3, "detect-ms")
+				b.ReportMetric(float64(rows[0].Rewire.Microseconds()), "rewire-µs")
+			}
+		})
+	}
+}

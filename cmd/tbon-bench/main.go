@@ -11,6 +11,7 @@
 //	tbon-bench -exp fanout        # ablation: fan-out sweep (open question)
 //	tbon-bench -exp sync          # ablation: synchronization policies
 //	tbon-bench -exp transport     # ablation: chan vs TCP substrate
+//	tbon-bench -exp recovery      # T-RECOVERY: failure recovery latency
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales.
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|all")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
 	daemons := flag.Int("daemons", 0, "startup daemon count (default 512)")
@@ -137,6 +138,15 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.TransportTable(32, rows))
+		return nil
+	})
+
+	run("recovery", func() error {
+		rows, err := experiments.RunRecovery(experiments.DefaultRecoveryConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RecoveryTable(rows))
 		return nil
 	})
 }

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"time"
 
-	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -30,13 +30,17 @@ func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
 	}
 	old := nw.tree
 	pn := old.Node(parent)
-	if pn == nil {
+	if pn == nil || !nw.view.valid(parent) {
 		nw.mu.Unlock()
 		return topology.NoRank, fmt.Errorf("core: no such parent %d", parent)
 	}
-	if pn.IsRoot() || pn.IsLeaf() {
+	if pn.IsRoot() || nw.view.backend[parent] {
 		nw.mu.Unlock()
 		return topology.NoRank, fmt.Errorf("core: parent %d must be an internal communication process", parent)
+	}
+	if nw.view.dead[parent] {
+		nw.mu.Unlock()
+		return topology.NoRank, fmt.Errorf("core: parent %d has failed", parent)
 	}
 	// Build the successor topology as a fresh immutable tree; running
 	// nodes read the network's tree pointer, never mutate it.
@@ -50,34 +54,53 @@ func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
 		nw.mu.Unlock()
 		return topology.NoRank, fmt.Errorf("core: attaching back-end: %w", err)
 	}
-	newRank := Rank(old.Len())
+	newRank, slot := nw.view.addLeaf(parent)
 	nw.tree = newTree
+	n := nw.byRank[parent]
 	nw.mu.Unlock()
 
 	parentEnd, childEnd := transport.NewPair(nw.cfg.ChanBuf)
 
 	// Hand the new link to the parent's event loop; the send completes
 	// only once the loop has installed the child, so a stream created
-	// after this call observes the new topology end to end.
-	n := nw.nodes[parent-1]
-	n.attachCh <- parentEnd
-
-	be := &BackEnd{
-		nw:    nw,
-		rank:  newRank,
-		ep:    &transport.Endpoint{Rank: newRank, Parent: childEnd},
-		inbox: make(chan *packet.Packet, 64),
+	// after this call observes the new topology end to end. The parent
+	// may have crashed (killed but not yet recovered) — fail rather than
+	// block forever, and mark the stillborn leaf dead so stream
+	// membership never includes it.
+	stillborn := func(err error) (Rank, error) {
+		nw.mu.Lock()
+		nw.view.dead[newRank] = true
+		nw.mu.Unlock()
+		return topology.NoRank, err
 	}
+	select {
+	case n.attachCh <- attachMsg{link: parentEnd, slot: slot}:
+	case <-n.killCh:
+		return stillborn(fmt.Errorf("core: parent %d has crashed", parent))
+	case <-nw.dying:
+		return stillborn(ErrShutdown)
+	case <-time.After(5 * time.Second):
+		return stillborn(fmt.Errorf("core: parent %d did not accept the attachment", parent))
+	}
+
+	be := newBackEnd(nw, newRank, &transport.Endpoint{Rank: newRank, Parent: childEnd})
+	nw.mu.Lock()
+	nw.bes[newRank] = be
+	nw.mu.Unlock()
 	nw.wg.Add(1)
 	go func() {
 		defer nw.wg.Done()
 		be.run()
 	}()
+	if nw.cfg.HeartbeatPeriod > 0 {
+		go nw.heartbeatLoop(newRank, be.parentLink, be.killCh)
+	}
 	return newRank, nil
 }
 
-// treeNow returns the current topology snapshot. Trees are immutable;
-// AttachBackEnd replaces the pointer.
+// treeNow returns the topology snapshot from network creation (plus
+// attachments). Recovery does not rewrite this tree — the live shape in
+// original numbering is tracked by the view; see Adopt.
 func (nw *Network) treeNow() *topology.Tree {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()

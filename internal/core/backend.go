@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/packet"
 	"repro/internal/transport"
@@ -17,10 +18,58 @@ type BackEnd struct {
 	rank  Rank
 	ep    *transport.Endpoint
 	inbox chan *packet.Packet
+
+	// parentMu guards ep.Parent, which recovery replaces when the
+	// back-end's parent process fails and a grandparent adopts it.
+	parentMu sync.RWMutex
+	// reparentCh delivers the replacement parent link.
+	reparentCh chan transport.Link
+	// killCh is closed by Kill to crash the back-end.
+	killCh   chan struct{}
+	killOnce sync.Once
+}
+
+func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
+	return &BackEnd{
+		nw:         nw,
+		rank:       rank,
+		ep:         ep,
+		inbox:      make(chan *packet.Packet, 64),
+		reparentCh: make(chan transport.Link, 1),
+		killCh:     make(chan struct{}),
+	}
 }
 
 // Rank returns the back-end's overlay rank.
 func (be *BackEnd) Rank() Rank { return be.rank }
+
+func (be *BackEnd) parentLink() transport.Link {
+	be.parentMu.RLock()
+	defer be.parentMu.RUnlock()
+	return be.ep.Parent
+}
+
+func (be *BackEnd) setParent(l transport.Link) {
+	be.parentMu.Lock()
+	be.ep.Parent = l
+	be.parentMu.Unlock()
+}
+
+// kill crashes the back-end: its parent link is severed abruptly and the
+// link loop exits without waiting for a shutdown announcement.
+func (be *BackEnd) kill() {
+	be.killOnce.Do(func() { close(be.killCh) })
+	transport.DropLink(be.parentLink())
+}
+
+func (be *BackEnd) killed() bool {
+	select {
+	case <-be.killCh:
+		return true
+	default:
+		return false
+	}
+}
 
 // Recv blocks for the next downstream packet addressed to this back-end
 // (multicast data on any stream it belongs to). It returns io.EOF when the
@@ -47,7 +96,7 @@ func (be *BackEnd) Send(streamID uint32, tag int32, format string, values ...any
 // SendPacket emits a pre-built packet upstream, re-stamping its stream and
 // source identity is NOT performed: the caller controls the header.
 func (be *BackEnd) SendPacket(p *packet.Packet) error {
-	if err := be.ep.Parent.Send(p); err != nil {
+	if err := be.parentLink().Send(p); err != nil {
 		return fmt.Errorf("core: back-end %d send: %w", be.rank, err)
 	}
 	return nil
@@ -66,9 +115,24 @@ func (be *BackEnd) run() {
 		}
 	}()
 
+loop:
 	for {
-		p, err := be.ep.Parent.Recv()
+		p, err := be.parentLink().Recv()
 		if err != nil {
+			// On a recoverable network an unexpected EOF means the parent
+			// crashed: survive as an orphan until a grandparent adopts us
+			// (or the network tears down).
+			if be.nw.recoverable() && !be.killed() {
+				select {
+				case l := <-be.reparentCh:
+					old := be.parentLink()
+					be.setParent(l)
+					transport.DropLink(old)
+					continue
+				case <-be.nw.dying:
+				case <-be.killCh:
+				}
+			}
 			break
 		}
 		if p.Tag == packet.TagControl {
@@ -84,9 +148,13 @@ func (be *BackEnd) run() {
 			continue
 		}
 		be.nw.metrics.PacketsDown.Add(1)
-		be.inbox <- p
+		select {
+		case be.inbox <- p:
+		case <-be.killCh:
+			break loop
+		}
 	}
 	close(be.inbox)
 	<-handlerDone
-	_ = be.ep.Parent.Close()
+	_ = be.parentLink().Close()
 }

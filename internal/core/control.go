@@ -12,6 +12,7 @@ const (
 	opNewStream   int64 = 1 // establish stream state at every node on the path
 	opCloseStream int64 = 2 // tear down stream state, draining synchronizers
 	opShutdown    int64 = 3 // stop the subtree
+	opHeartbeat   int64 = 4 // liveness beacon, flowing upstream to the front-end
 )
 
 // Control packet formats, one per op.
@@ -23,6 +24,8 @@ const (
 	ctrlCloseStreamFormat = "%d %d"
 	// op
 	ctrlShutdownFormat = "%d"
+	// op, origin rank
+	ctrlHeartbeatFormat = "%d %d"
 )
 
 // newStreamPacket encodes an opNewStream control message.
@@ -39,6 +42,21 @@ func newStreamPacket(id uint32, tform, sync, downTform string, members []Rank) *
 func closeStreamPacket(id uint32) *packet.Packet {
 	return packet.MustNew(packet.TagControl, 0, 0, ctrlCloseStreamFormat,
 		opCloseStream, int64(id))
+}
+
+// heartbeatPacket encodes an opHeartbeat control message from origin.
+func heartbeatPacket(origin Rank) *packet.Packet {
+	return packet.MustNew(packet.TagControl, 0, origin, ctrlHeartbeatFormat,
+		opHeartbeat, int64(origin))
+}
+
+// parseHeartbeat decodes an opHeartbeat control message.
+func parseHeartbeat(p *packet.Packet) (Rank, error) {
+	origin, err := p.Int(1)
+	if err != nil {
+		return 0, err
+	}
+	return Rank(origin), nil
 }
 
 // ctrlOp extracts the operation code from a control packet.

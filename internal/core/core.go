@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/filter"
 	"repro/internal/packet"
@@ -74,6 +75,15 @@ type Config struct {
 	// OnBackEnd runs application code at each back-end in its own
 	// goroutine. May be nil for networks driven purely by multicast tests.
 	OnBackEnd func(be *BackEnd) error
+	// Recoverable makes subtrees orphaned by a crashed parent survive and
+	// await grandparent adoption (Adopt / internal/recovery) instead of
+	// abandoning ship. Without it a parent crash tears the subtree down,
+	// the pre-recovery behavior.
+	Recoverable bool
+	// HeartbeatPeriod, when positive, makes every non-root process emit
+	// periodic liveness beacons that relay to the front-end, feeding the
+	// failure detector in internal/recovery.
+	HeartbeatPeriod time.Duration
 }
 
 // Metrics exposes cheap global counters for tests and benchmarks.
@@ -82,6 +92,15 @@ type Metrics struct {
 	PacketsDown  atomic.Int64 // downstream data packets entering nodes
 	Batches      atomic.Int64 // synchronizer batches transformed
 	FilterErrors atomic.Int64 // transformation errors (packets dropped)
+
+	// Failure detection and recovery observability.
+	HeartbeatsSent       atomic.Int64 // liveness beacons emitted
+	HeartbeatsSeen       atomic.Int64 // beacons observed at the front-end
+	NodesFailed          atomic.Int64 // processes crashed (Kill injections)
+	RecoveriesCompleted  atomic.Int64 // successful live adoptions
+	OrphansAdopted       atomic.Int64 // subtrees re-parented by recovery
+	RecoveryNanos        atomic.Int64 // total time spent rewiring (ns)
+	ShutdownSendFailures atomic.Int64 // shutdown announcements to dead links
 }
 
 // Network is a running TBON instance. The front-end API (NewStream,
@@ -96,11 +115,23 @@ type Network struct {
 	nodes []*node
 	wg    sync.WaitGroup
 
+	// dying closes when Shutdown begins; orphaned processes and heartbeat
+	// loops, which no shutdown announcement can reach, watch it.
+	dying chan struct{}
+	// recMu serializes live recoveries (Adopt).
+	recMu sync.Mutex
+
 	mu       sync.Mutex
+	view     *liveView // current shape in original numbering
+	byRank   map[Rank]*node
+	bes      map[Rank]*BackEnd
 	streams  map[uint32]*Stream
 	nextID   uint32
 	shutdown bool
 	beErrs   []error
+
+	hbMu   sync.Mutex
+	lastHB map[Rank]time.Time
 }
 
 // ErrShutdown is returned by front-end operations on a stopped network.
@@ -142,8 +173,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 		registry: reg,
 		streams:  map[uint32]*Stream{},
 		nextID:   1,
+		dying:    make(chan struct{}),
+		view:     newLiveView(cfg.Topology),
+		byRank:   map[Rank]*node{},
+		bes:      map[Rank]*BackEnd{},
+		lastHB:   map[Rank]time.Time{},
 	}
-	nw.fe = &feState{nw: nw, ep: eps[0]}
+	nw.fe = &feState{nw: nw, ep: eps[0], cmdCh: make(chan *cmdAdopt)}
 
 	// Start communication processes and back-ends.
 	for r := 1; r < cfg.Topology.Len(); r++ {
@@ -153,22 +189,32 @@ func NewNetwork(cfg Config) (*Network, error) {
 			rank:     Rank(r),
 			ep:       eps[r],
 			leaf:     tn.IsLeaf(),
-			attachCh: make(chan transport.Link),
+			attachCh: make(chan attachMsg),
+			cmdCh:    make(chan nodeCmd),
+			killCh:   make(chan struct{}),
 		}
 		nw.nodes = append(nw.nodes, n)
 		nw.wg.Add(1)
 		if n.leaf {
-			be := &BackEnd{nw: nw, rank: Rank(r), ep: eps[r], inbox: make(chan *packet.Packet, 64)}
+			be := newBackEnd(nw, Rank(r), eps[r])
 			n.be = be
+			nw.bes[Rank(r)] = be
 			go func() {
 				defer nw.wg.Done()
 				be.run()
 			}()
+			if cfg.HeartbeatPeriod > 0 {
+				go nw.heartbeatLoop(Rank(r), be.parentLink, be.killCh)
+			}
 		} else {
+			nw.byRank[Rank(r)] = n
 			go func() {
 				defer nw.wg.Done()
 				n.run()
 			}()
+			if cfg.HeartbeatPeriod > 0 {
+				go nw.heartbeatLoop(Rank(r), n.parentLink, n.killCh)
+			}
 		}
 	}
 
@@ -198,11 +244,20 @@ func (nw *Network) Shutdown() error {
 	}
 	nw.shutdown = true
 	nw.mu.Unlock()
+	// Wake orphaned processes and heartbeat loops, which no downstream
+	// announcement can reach.
+	close(nw.dying)
 
-	// Announce shutdown to every child subtree.
+	// Announce shutdown to every child subtree. A dead child is already
+	// gone; count the failure so dead links are observable, and keep going.
 	down := packet.MustNew(packet.TagControl, 0, 0, ctrlShutdownFormat, int64(opShutdown))
-	for _, l := range nw.fe.ep.Children {
-		_ = l.Send(down) // a dead child is already gone; keep going
+	for _, l := range nw.fe.childLinks() {
+		if l == nil {
+			continue
+		}
+		if err := l.Send(down); err != nil {
+			nw.metrics.ShutdownSendFailures.Add(1)
+		}
 	}
 	nw.wg.Wait()
 

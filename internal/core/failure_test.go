@@ -211,6 +211,257 @@ func TestStreamFIFOOrder(t *testing.T) {
 	}
 }
 
+// recoverableEcho builds a Recoverable network with heartbeats whose
+// back-ends answer every multicast with their rank as a float.
+func recoverableEcho(t *testing.T, spec string, hb time.Duration) *Network {
+	t.Helper()
+	tree := mustTree(t, spec)
+	nw, err := NewNetwork(Config{
+		Topology:        tree,
+		Recoverable:     true,
+		HeartbeatPeriod: hb,
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				// Ignore transient send failures: an orphaned back-end's
+				// sends fail until a grandparent adopts it.
+				_ = be.Send(p.StreamID, p.Tag, "%f", float64(be.Rank()))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestKillThenAdoptKeepsStreamWorking is the core-level recovery check: a
+// communication process crashes between rounds, the grandparent adopts its
+// orphans, and the SAME stream keeps producing the full-membership answer.
+func TestKillThenAdoptKeepsStreamWorking(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0) // 0; 1,2; leaves 3..6
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(want float64) {
+		t.Helper()
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := p.Float(0); v != want {
+			t.Errorf("sum = %g, want %g", v, want)
+		}
+	}
+	round(18) // 3+4+5+6 while healthy
+
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	ad, err := nw.Adopt(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.NewParent != 0 {
+		t.Errorf("NewParent = %d, want 0", ad.NewParent)
+	}
+	if len(ad.Orphans) != 2 || ad.Orphans[0] != 3 || ad.Orphans[1] != 4 {
+		t.Errorf("Orphans = %v, want [3 4]", ad.Orphans)
+	}
+
+	// The stream established before the failure still reaches every leaf:
+	// no data source was lost, only the intermediate level.
+	for i := 0; i < 3; i++ {
+		round(18)
+	}
+	m := nw.Metrics()
+	if m.NodesFailed.Load() != 1 || m.RecoveriesCompleted.Load() != 1 || m.OrphansAdopted.Load() != 2 {
+		t.Errorf("recovery metrics = failed %d, recovered %d, orphans %d",
+			m.NodesFailed.Load(), m.RecoveriesCompleted.Load(), m.OrphansAdopted.Load())
+	}
+
+	// New streams exclude nothing either — all back-ends survived.
+	st2, err := nw.NewStream(StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st2.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Int(0); v != 4 {
+		t.Errorf("post-recovery count = %d, want 4", v)
+	}
+}
+
+// TestKillBackEndThenAdoptRemovesLeaf: a crashed back-end is a leaf
+// failure — recovery marks it dead, rebuilds the parent's synchronization
+// so waiting streams are not wedged, and new streams exclude it.
+func TestKillBackEndThenAdoptRemovesLeaf(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Kill(6); err != nil {
+		t.Fatal(err)
+	}
+	ad, err := nw.Adopt(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Orphans) != 0 {
+		t.Errorf("leaf failure produced orphans: %v", ad.Orphans)
+	}
+	// The pre-failure stream completes with the survivors under
+	// waitforall because the dead slot no longer gates batches.
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 12 { // 3+4+5
+		t.Errorf("post-leaf-failure sum = %g, want 12", v)
+	}
+	// New full-membership streams exclude the dead leaf.
+	st2, err := nw.NewStream(StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err = st2.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Int(0); v != 3 {
+		t.Errorf("count after leaf failure = %d, want 3", v)
+	}
+	// And naming it explicitly is rejected.
+	if _, err := nw.NewStream(StreamSpec{Endpoints: []Rank{6}}); err == nil {
+		t.Error("stream over dead back-end: want error")
+	}
+}
+
+// TestKillDeepChainRecovery exercises adoption at an internal grandparent
+// (not the front-end) on a 3-level tree.
+func TestKillDeepChainRecovery(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^3", 0) // internals 1,2 then 3..6; leaves 7..14
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, l := range nw.Tree().Leaves() {
+		want += float64(l)
+	}
+	if err := nw.Kill(3); err != nil { // child of 1, parent of leaves 7,8
+		t.Fatal(err)
+	}
+	ad, err := nw.Adopt(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.NewParent != 1 {
+		t.Errorf("NewParent = %d, want 1", ad.NewParent)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := p.Float(0); v != want {
+			t.Errorf("round %d: sum = %g, want %g", i, v, want)
+		}
+	}
+}
+
+// TestKillAndAdoptValidation covers the unrecoverable cases.
+func TestKillAndAdoptValidation(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	if err := nw.Kill(0); err == nil {
+		t.Error("kill front-end: want error")
+	}
+	if err := nw.Kill(99); err == nil {
+		t.Error("kill missing rank: want error")
+	}
+	if _, err := nw.Adopt(0, nil); err == nil {
+		t.Error("adopt front-end: want error")
+	}
+	if _, err := nw.Adopt(99, nil); err == nil {
+		t.Error("adopt missing rank: want error")
+	}
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Adopt(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Adopt(1, nil); !errors.Is(err, ErrNotRecoverable) {
+		t.Errorf("double recovery: %v, want ErrNotRecoverable", err)
+	}
+}
+
+// TestHeartbeatsReachFrontEnd: every non-root process's beacon relays to
+// the front-end within a few periods.
+func TestHeartbeatsReachFrontEnd(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 5*time.Millisecond)
+	defer nw.Shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hb := nw.Heartbeats()
+		if len(hb) == 6 { // ranks 1..6
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d ranks heartbeating: %v", len(hb), hb)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nw.Metrics().HeartbeatsSent.Load() == 0 || nw.Metrics().HeartbeatsSeen.Load() == 0 {
+		t.Error("heartbeat metrics not counted")
+	}
+}
+
+// TestShutdownCountsDeadLinkSends: after a root child crashes, Shutdown's
+// announcement to it fails and the failure is counted (satellite of the
+// recovery work: dead links must be observable).
+func TestShutdownCountsDeadLinkSends(t *testing.T) {
+	tree := mustTree(t, "kary:2^2")
+	nw := echoValue(t, tree, ChanTransport) // NOT recoverable: subtree abandons
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// Give the subtree a moment to observe the crash and unwind.
+	time.Sleep(50 * time.Millisecond)
+	if err := nw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Metrics().ShutdownSendFailures.Load() == 0 {
+		t.Error("shutdown send to dead link not counted")
+	}
+}
+
 // TestRecvAfterCloseDrains: packets already delivered to the stream buffer
 // remain readable after Close.
 func TestRecvAfterCloseDrains(t *testing.T) {
@@ -233,4 +484,196 @@ func TestRecvAfterCloseDrains(t *testing.T) {
 		t.Errorf("sum = %g", v)
 	}
 	st.Close()
+}
+
+// TestAdoptWithTinyLinkBuffers: adoption must not deadlock when the link
+// buffer is smaller than the number of streams being re-announced
+// (regression: announce sends used to target links with no reader yet).
+func TestAdoptWithTinyLinkBuffers(t *testing.T) {
+	tree := mustTree(t, "kary:2^2")
+	nw, err := NewNetwork(Config{
+		Topology:    tree,
+		Recoverable: true,
+		ChanBuf:     1,
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				_ = be.Send(p.StreamID, p.Tag, "%f", float64(be.Rank()))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	var streams []*Stream
+	for i := 0; i < 6; i++ {
+		st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, st)
+	}
+	// Noise traffic keeps data in flight through the front-end while the
+	// adoption runs, so both directions of the fresh links see load.
+	noise, err := nw.NewStream(StreamSpec{Synchronization: "nullsync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopNoise := make(chan struct{})
+	noiseDone := make(chan struct{})
+	go func() {
+		defer close(noiseDone)
+		for {
+			select {
+			case <-stopNoise:
+				return
+			default:
+				_ = noise.Multicast(tagQuery, "")
+				noise.RecvTimeout(time.Millisecond)
+			}
+		}
+	}()
+
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.Adopt(1, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Adopt deadlocked with ChanBuf=1")
+	}
+	close(stopNoise)
+	<-noiseDone
+	// Drain noise results so they cannot be confused with the checks below.
+	for {
+		if _, err := noise.RecvTimeout(50 * time.Millisecond); err != nil {
+			break
+		}
+	}
+	for i, st := range streams {
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if v, _ := p.Float(0); v != 18 {
+			t.Errorf("stream %d: sum = %g, want 18", i, v)
+		}
+	}
+}
+
+// TestAttachToCrashedParentFails: attaching under a killed (not yet
+// recovered) parent must error, not hang, and the stillborn leaf must
+// never join stream membership.
+func TestAttachToCrashedParentFails(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AttachBackEnd(1); err == nil {
+		t.Fatal("attach to crashed parent: want error")
+	}
+	if _, err := nw.Adopt(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := nw.NewStream(StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Int(0); v != 4 {
+		t.Errorf("count = %d, want 4 (stillborn leaf excluded)", v)
+	}
+}
+
+// TestFalsePositiveAdoptFencesAliveNode: recovering a node that is alive
+// but silent (a false-positive detection) must still converge — the node
+// is fenced off, its back-end children are forced onto the grandparent,
+// and no leaf is lost.
+func TestFalsePositiveAdoptFencesAliveNode(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(want float64) {
+		t.Helper()
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := p.Float(0); v != want {
+			t.Errorf("sum = %g, want %g", v, want)
+		}
+	}
+	round(18)
+	// No Kill: rank 1 is healthy, yet declared failed.
+	ad, err := nw.Adopt(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Orphans) != 2 {
+		t.Fatalf("orphans = %v", ad.Orphans)
+	}
+	for i := 0; i < 3; i++ {
+		round(18) // all four leaves still reachable, fenced node excluded
+	}
+}
+
+// TestAdoptReleasesWedgedRound: replies queued behind a dead child's
+// waitforall slot must be released when recovery removes the slot —
+// the in-flight round completes with the survivors instead of wedging.
+func TestAdoptReleasesWedgedRound(t *testing.T) {
+	nw := recoverableEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Kill(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors' replies queue behind the dead slot: nothing is
+	// deliverable until recovery rebuilds the synchronization.
+	if p, err := st.RecvTimeout(300 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("round completed before recovery: %v, %v", p, err)
+	}
+	if _, err := nw.Adopt(6, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatalf("in-flight round still wedged after recovery: %v", err)
+	}
+	if v, _ := p.Float(0); v != 12 { // 3+4+5
+		t.Errorf("released round sum = %g, want 12", v)
+	}
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -17,6 +20,17 @@ type feState struct {
 
 	mu     sync.Mutex // guards states; written by NewStream, read by run loop
 	states map[uint32]*streamState
+
+	// epMu guards ep.Children, which recovery grows when the front-end
+	// adopts the orphans of a failed child; Multicast and NewStream read
+	// the slice from user goroutines.
+	epMu sync.RWMutex
+	// adoptSeq is a seqlock around adoptions: odd while handleAdopt is
+	// rewiring, bumped again when done. Multicasts use it to read stream
+	// routing and the link slice as one consistent pair.
+	adoptSeq atomic.Uint64
+	// cmdCh delivers adoption commands into the receive loop.
+	cmdCh chan *cmdAdopt
 }
 
 func (fe *feState) state(id uint32) *streamState {
@@ -43,6 +57,67 @@ func (fe *feState) dropState(id uint32) {
 	delete(fe.states, id)
 }
 
+// childLinks returns the front-end's child link slots. The slice is
+// copy-on-write (installChild swaps in a fresh one), so returning the
+// reference is safe and keeps the per-packet send path allocation-free.
+func (fe *feState) childLinks() []transport.Link {
+	fe.epMu.RLock()
+	defer fe.epMu.RUnlock()
+	return fe.ep.Children
+}
+
+// installChild places a link at the given child slot, building a new
+// slice so concurrent childLinks readers keep a consistent snapshot.
+func (fe *feState) installChild(slot int, l transport.Link) {
+	fe.epMu.Lock()
+	n := len(fe.ep.Children)
+	if slot+1 > n {
+		n = slot + 1
+	}
+	next := make([]transport.Link, n)
+	copy(next, fe.ep.Children)
+	next[slot] = l
+	fe.ep.Children = next
+	fe.epMu.Unlock()
+}
+
+// sendToStream fans a packet out to the stream's participating children.
+// ss routing is index-aligned with the slot snapshot; the seqlock retry
+// makes routing and links a single consistent pair even while an adoption
+// rewires them. On a recoverable network a dead child link is skipped
+// rather than surfaced: the subtree is inside its failure window and
+// adoption will re-route it, so the loss is the same transient in-flight
+// loss the recovery model already covers.
+func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
+	var down []bool
+	var links []transport.Link
+	for {
+		seq := fe.adoptSeq.Load()
+		if seq%2 == 1 { // an adoption is mid-rewire; wait it out
+			runtime.Gosched()
+			continue
+		}
+		down = ss.routeSnapshot()
+		links = fe.childLinks()
+		if fe.adoptSeq.Load() == seq {
+			break
+		}
+	}
+	var first error
+	for i, l := range links {
+		if l == nil || i >= len(down) || !down[i] {
+			continue
+		}
+		if err := l.Send(p); err != nil && first == nil {
+			if fe.nw.recoverable() && errors.Is(err, transport.ErrClosed) {
+				continue
+			}
+			first = err
+		}
+	}
+	return first
+}
+
 // run is the front-end receive loop: the root-level synchronizer and
 // transformation execute here, and results are handed to Stream.Recv.
 func (fe *feState) run() {
@@ -51,7 +126,23 @@ func (fe *feState) run() {
 		go readLink(c, i, inbox)
 	}
 	live := len(fe.ep.Children)
-	for live > 0 {
+loop:
+	for {
+		if live <= 0 {
+			// On a recoverable network all children being gone may just
+			// mean every root child crashed at once: stay up, the
+			// recovery manager will hand us their orphans to adopt.
+			if !fe.nw.recoverable() {
+				break
+			}
+			select {
+			case c := <-fe.cmdCh:
+				live += fe.handleAdopt(c, inbox)
+				continue
+			case <-fe.nw.dying:
+				break loop
+			}
+		}
 		var timer *time.Timer
 		var timerC <-chan time.Time
 		if d := fe.earliestDeadline(); !d.IsZero() {
@@ -73,6 +164,11 @@ func (fe *feState) run() {
 				continue
 			}
 			fe.handleUp(m.child, m.p)
+		case c := <-fe.cmdCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			live += fe.handleAdopt(c, inbox)
 		case <-timerC:
 			fe.pollStreams()
 		}
@@ -89,9 +185,31 @@ func (fe *feState) run() {
 	}
 }
 
+// handleAdopt applies an adoption at the root: the front-end itself is the
+// grandparent of the failed child's orphans. It returns the number of new
+// live child links.
+func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
+	fe.mu.Lock()
+	states := make([]*streamState, 0, len(fe.states))
+	for _, ss := range fe.states {
+		states = append(states, ss)
+	}
+	fe.mu.Unlock()
+	fe.adoptSeq.Add(1) // odd: rewiring in progress
+	applyAdoption(c, fe.ep, fe.nw.registry, fe.installChild, states, fe.flushBatches, inbox)
+	fe.adoptSeq.Add(1) // even again: links and routing consistent
+	c.reply <- nil
+	return len(c.links)
+}
+
 func (fe *feState) handleUp(child int, p *packet.Packet) {
 	if p.Tag == packet.TagControl {
-		return // no upstream control traffic today
+		if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
+			if origin, err := parseHeartbeat(p); err == nil {
+				fe.nw.noteHeartbeat(origin)
+			}
+		}
+		return
 	}
 	fe.nw.metrics.PacketsUp.Add(1)
 	ss := fe.state(p.StreamID)

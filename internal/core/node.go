@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/packet"
@@ -13,6 +14,14 @@ import (
 type inMsg struct {
 	child int
 	p     *packet.Packet
+}
+
+// attachMsg delivers a dynamically created child link together with the
+// slot index the live view assigned to it, so the event loop installs it at
+// the same index the routing tables use.
+type attachMsg struct {
+	link transport.Link
+	slot int
 }
 
 // node is a communication process (or the shell around a back-end, which
@@ -28,9 +37,31 @@ type node struct {
 	shuttingDown bool
 	liveChildren int
 
+	// orphaned is set when the parent link dies without a shutdown
+	// announcement on a recoverable network; the node then keeps serving
+	// its subtree while it waits for a grandparent adoption (cmdReparent).
+	orphaned bool
+	// parentGen counts reparents and parentEOFSeen counts parent-link EOFs,
+	// so a stale EOF from a replaced link is not mistaken for the death of
+	// the current parent.
+	parentGen     int
+	parentEOFSeen int
+
 	// attachCh delivers links for dynamically attached back-ends
 	// (AttachBackEnd); the event loop installs them as new child slots.
-	attachCh chan transport.Link
+	attachCh chan attachMsg
+	// cmdCh delivers recovery commands (state snapshot, adoption,
+	// reparenting) into the event loop.
+	cmdCh chan nodeCmd
+	// killCh is closed by Kill to crash the node: the event loop exits
+	// immediately, without draining.
+	killCh   chan struct{}
+	killOnce sync.Once
+
+	// parentMu guards ep.Parent for readers outside the event loop (the
+	// heartbeat goroutine); epMu guards ep.Children structure for Kill.
+	parentMu sync.RWMutex
+	epMu     sync.Mutex
 }
 
 // run executes the communication-process event loop: route downstream
@@ -63,6 +94,12 @@ func (n *node) run() {
 			timer = time.NewTimer(wait)
 			timerC = timer.C
 		}
+		// An orphan additionally watches for network teardown: nobody can
+		// route a shutdown announcement to it until it is adopted.
+		var dyingC <-chan struct{}
+		if n.orphaned {
+			dyingC = n.nw.dying
+		}
 		select {
 		case m := <-inbox:
 			if timer != nil {
@@ -71,35 +108,86 @@ func (n *node) run() {
 			if done := n.handle(m); done {
 				return
 			}
-		case l := <-n.attachCh:
+		case a := <-n.attachCh:
 			if timer != nil {
 				timer.Stop()
 			}
-			n.addChild(l, inbox)
+			n.addChild(a, inbox)
+		case c := <-n.cmdCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			n.handleCmd(c, inbox)
+		case <-n.killCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			return // crashed: no drain, links already dropped by Kill
+		case <-dyingC:
+			if timer != nil {
+				timer.Stop()
+			}
+			n.finish()
+			return
 		case <-timerC:
 			n.pollStreams()
 		}
 	}
 }
 
+// kill crashes the node: its links are severed abruptly (peers observe
+// unexpected EOF, in-flight packets are lost) and the event loop exits.
+func (n *node) kill() {
+	n.killOnce.Do(func() { close(n.killCh) })
+	n.parentMu.RLock()
+	parent := n.ep.Parent
+	n.parentMu.RUnlock()
+	transport.DropLink(parent)
+	n.epMu.Lock()
+	children := append([]transport.Link(nil), n.ep.Children...)
+	n.epMu.Unlock()
+	for _, c := range children {
+		transport.DropLink(c)
+	}
+}
+
+// parentLink returns the current parent link; safe outside the event loop.
+func (n *node) parentLink() transport.Link {
+	n.parentMu.RLock()
+	defer n.parentMu.RUnlock()
+	return n.ep.Parent
+}
+
+// installChild places a link at the given child slot, growing the slice
+// with nil placeholders if slots were assigned out of order.
+func (n *node) installChild(slot int, l transport.Link) {
+	n.epMu.Lock()
+	for len(n.ep.Children) <= slot {
+		n.ep.Children = append(n.ep.Children, nil)
+	}
+	n.ep.Children[slot] = l
+	n.epMu.Unlock()
+}
+
 // addChild installs a dynamically attached back-end's link as a new child
 // slot. Existing streams do not include the newcomer (their membership was
 // fixed at creation); streams created afterwards see it via the updated
 // topology snapshot.
-func (n *node) addChild(l transport.Link, inbox chan inMsg) {
-	slot := len(n.ep.Children)
-	n.ep.Children = append(n.ep.Children, l)
+func (n *node) addChild(a attachMsg, inbox chan inMsg) {
+	n.installChild(a.slot, a.link)
 	n.liveChildren++
 	for _, ss := range n.streams {
-		ss.downChildren = append(ss.downChildren, false)
-		ss.upSlot = append(ss.upSlot, -1)
+		for len(ss.downChildren) <= a.slot {
+			ss.downChildren = append(ss.downChildren, false)
+			ss.upSlot = append(ss.upSlot, -1)
+		}
 	}
 	if n.shuttingDown {
 		// The newcomer raced a shutdown: pass the announcement on so it
 		// terminates like everyone else.
-		_ = l.Send(packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown)))
+		_ = a.link.Send(packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown)))
 	}
-	go readLink(l, slot, inbox)
+	go readLink(a.link, a.slot, inbox)
 }
 
 // readLink pumps packets from a link into the inbox, sending a nil-packet
@@ -129,6 +217,16 @@ func (n *node) handle(m inMsg) bool {
 
 func (n *node) handleFromParent(p *packet.Packet) bool {
 	if p == nil {
+		n.parentEOFSeen++
+		if n.parentEOFSeen <= n.parentGen {
+			return false // EOF of a link already replaced by reparenting
+		}
+		if n.nw.recoverable() && !n.shuttingDown {
+			// Parent crashed: hold the subtree together and wait for the
+			// grandparent to adopt us (the zero-cost recovery model).
+			n.orphaned = true
+			return false
+		}
 		// Parent vanished without shutdown: abandon the subtree.
 		n.closeAll()
 		return true
@@ -151,20 +249,28 @@ func (n *node) handleFromParent(p *packet.Packet) bool {
 		}
 		for _, q := range outs {
 			q = q.WithStream(ss.id)
-			for i, l := range n.ep.Children {
-				if ss.downChildren[i] {
-					_ = l.Send(q)
-				}
-			}
+			n.sendDownstream(ss, q)
 		}
 		return false
 	}
 	// Unknown stream: flood (control may still be propagating on another
 	// path in reconfiguration scenarios; flooding is always safe).
 	for _, l := range n.ep.Children {
-		_ = l.Send(p)
+		if l != nil {
+			_ = l.Send(p)
+		}
 	}
 	return false
+}
+
+// sendDownstream fans a packet out to the stream's participating children.
+func (n *node) sendDownstream(ss *streamState, p *packet.Packet) {
+	for i, l := range n.ep.Children {
+		if l == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
+			continue
+		}
+		_ = l.Send(p)
+	}
 }
 
 func (n *node) handleControl(p *packet.Packet) bool {
@@ -178,7 +284,12 @@ func (n *node) handleControl(p *packet.Packet) bool {
 		if err != nil {
 			return false
 		}
-		ss, err := newStreamState(n.nw.treeNow(), n.rank, n.nw.registry, id, tform, sync, downTform, members)
+		if _, exists := n.streams[id]; exists {
+			// Recovery re-announces streams to adopted subtrees; a node
+			// that already carries the stream must keep its filter state.
+			return false
+		}
+		ss, err := newStreamState(n.nw, n.rank, n.nw.registry, id, tform, sync, downTform, members)
 		if err != nil {
 			// Unknown filter at this node: degrade to pass-through so data
 			// still flows; the front-end surfaced the same error to the
@@ -186,11 +297,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			return false
 		}
 		n.streams[id] = ss
-		for i, l := range n.ep.Children {
-			if ss.downChildren[i] {
-				_ = l.Send(p)
-			}
-		}
+		n.sendDownstream(ss, p)
 	case opCloseStream:
 		id, err := parseCloseStream(p)
 		if err != nil {
@@ -201,16 +308,14 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			// the stream, so time-window policies do not lose data.
 			n.flushBatches(ss, ss.drain())
 			delete(n.streams, id)
-			for i, l := range n.ep.Children {
-				if ss.downChildren[i] {
-					_ = l.Send(p)
-				}
-			}
+			n.sendDownstream(ss, p)
 		}
 	case opShutdown:
 		n.shuttingDown = true
 		for _, l := range n.ep.Children {
-			_ = l.Send(p)
+			if l != nil {
+				_ = l.Send(p)
+			}
 		}
 		if n.liveChildren == 0 {
 			n.finish()
@@ -230,10 +335,9 @@ func (n *node) handleFromChild(child int, p *packet.Packet) bool {
 		return false
 	}
 	if p.Tag == packet.TagControl {
-		// Upstream control is not generated today; forward for
-		// forward-compatibility.
-		if n.ep.Parent != nil {
-			_ = n.ep.Parent.Send(p)
+		// Upstream control (heartbeats today) relays toward the front-end.
+		if parent := n.ep.Parent; parent != nil {
+			_ = parent.Send(p)
 		}
 		return false
 	}
@@ -241,8 +345,8 @@ func (n *node) handleFromChild(child int, p *packet.Packet) bool {
 	ss, ok := n.streams[p.StreamID]
 	if !ok {
 		// Stream unknown here (e.g. closed): pass through unfiltered.
-		if n.ep.Parent != nil {
-			_ = n.ep.Parent.Send(p)
+		if parent := n.ep.Parent; parent != nil {
+			_ = parent.Send(p)
 		}
 		return false
 	}
@@ -264,8 +368,8 @@ func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 		}
 		for _, q := range out {
 			q = q.WithStream(ss.id).WithSrc(n.rank)
-			if n.ep.Parent != nil {
-				_ = n.ep.Parent.Send(q)
+			if parent := n.ep.Parent; parent != nil {
+				_ = parent.Send(q)
 			}
 		}
 	}
@@ -300,7 +404,9 @@ func (n *node) finish() {
 
 func (n *node) closeAll() {
 	for _, l := range n.ep.Children {
-		_ = l.Close()
+		if l != nil {
+			_ = l.Close()
+		}
 	}
 	if n.ep.Parent != nil {
 		_ = n.ep.Parent.Close()

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// This file implements the live half of the paper's companion reliability
+// model (Arnold & Miller, "Zero-cost reliability for tree-based overlay
+// networks") on a running Network:
+//
+//   - fault injection: Kill crashes any non-root process, severing its
+//     links abruptly so neighbors observe the failure exactly as they
+//     would a real crash;
+//   - failure detection feed: every non-root process emits periodic
+//     heartbeat control packets that relay to the front-end, where
+//     internal/recovery's detector watches for silence;
+//   - live reconfiguration: Adopt applies the grandparent-adoption rule in
+//     place — orphans are re-linked under the failed node's parent, stream
+//     routing and synchronizer child counts are rebuilt, streams are
+//     re-announced into adopted subtrees, and the lost node's composable
+//     filter state is reconstructed from the orphans' snapshots.
+
+// StateComposer rebuilds a failed node's per-stream filter state from its
+// surviving children's snapshots (internal/recovery supplies
+// reliability.ComposeStates here). children is ordered like the adoption's
+// orphan list; entries are empty for children without state. A nil result
+// with nil error means "nothing to restore" (e.g. a stateless filter).
+type StateComposer func(streamID uint32, transformation string, children [][]byte) ([]byte, error)
+
+// Adoption reports what a live recovery did.
+type Adoption struct {
+	// Failed is the crashed process (original numbering, like all ranks
+	// on a live network).
+	Failed Rank
+	// NewParent is the adopter: the failed process's parent.
+	NewParent Rank
+	// Orphans are the failed process's surviving children, now re-linked
+	// under NewParent.
+	Orphans []Rank
+	// StreamsComposed counts streams whose lost filter state was
+	// reconstructed by composition.
+	StreamsComposed int
+	// Rewire is the time spent reconfiguring the running overlay.
+	Rewire time.Duration
+}
+
+// ErrNotRecoverable reports an Adopt call the live engine cannot honor.
+var ErrNotRecoverable = errors.New("core: failure not recoverable")
+
+// nodeCmd is a recovery command delivered into a node's event loop.
+type nodeCmd interface{ isNodeCmd() }
+
+// cmdSnapshot asks a node for its per-stream composable filter state.
+type cmdSnapshot struct {
+	reply chan map[uint32][]byte
+}
+
+// cmdAdopt installs orphan links as new child slots and rebuilds stream
+// routing/synchronizers from a fresh slot snapshot.
+type cmdAdopt struct {
+	deadSlot int              // the failed child's slot, fenced off (-1 none)
+	slots    []int            // child slot index per new link
+	links    []transport.Link // parent-side ends, index-aligned with slots
+	slotInfo []slotInfo       // full refreshed slot snapshot for the adopter
+	composed map[uint32][]byte
+	reply    chan error
+}
+
+// cmdReparent hands an orphaned node its replacement parent link.
+type cmdReparent struct {
+	link  transport.Link
+	reply chan struct{}
+}
+
+func (*cmdSnapshot) isNodeCmd() {}
+func (*cmdAdopt) isNodeCmd()    {}
+func (*cmdReparent) isNodeCmd() {}
+
+// handleCmd executes a recovery command inside the node's event loop.
+func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
+	switch cmd := c.(type) {
+	case *cmdSnapshot:
+		m := map[uint32][]byte{}
+		for id, ss := range n.streams {
+			if st, ok := ss.tform.(filter.StatefulTransformation); ok {
+				if blob, err := st.State(); err == nil && len(blob) > 0 {
+					m[id] = blob
+				}
+			}
+		}
+		cmd.reply <- m
+	case *cmdAdopt:
+		states := make([]*streamState, 0, len(n.streams))
+		for _, ss := range n.streams {
+			states = append(states, ss)
+		}
+		applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox)
+		n.liveChildren += len(cmd.links)
+		if n.shuttingDown {
+			down := packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown))
+			for _, l := range cmd.links {
+				_ = l.Send(down)
+			}
+		}
+		cmd.reply <- nil
+	case *cmdReparent:
+		n.parentMu.Lock()
+		old := n.ep.Parent
+		n.ep.Parent = cmd.link
+		n.parentMu.Unlock()
+		transport.DropLink(old) // usually already dead; fences false positives
+		n.parentGen++
+		n.orphaned = false
+		go readLink(cmd.link, -1, inbox)
+		cmd.reply <- struct{}{}
+	}
+}
+
+// applyAdoption runs the adoption sequence shared by internal nodes and
+// the front-end: fence the declared-dead child off (even a false positive
+// — alive but silent — must not keep feeding this node), install the new
+// child links, start their readers, and repair every stream. The readers
+// start before stream repair so both link directions drain while
+// announcements are sent — their packets are only processed after the
+// command completes, once routing is rebuilt. Callers keep their own
+// bookkeeping (live-child counts, shutdown racing) around this.
+func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
+	install func(slot int, l transport.Link), states []*streamState,
+	flush func(*streamState, [][]*packet.Packet), inbox chan inMsg) {
+	if c.deadSlot >= 0 && c.deadSlot < len(ep.Children) {
+		transport.DropLink(ep.Children[c.deadSlot])
+		install(c.deadSlot, nil)
+	}
+	for i, l := range c.links {
+		install(c.slots[i], l)
+	}
+	for i, l := range c.links {
+		go readLink(l, c.slots[i], inbox)
+	}
+	repairStreams(reg, states, c, flush)
+}
+
+// repairStreams applies an adoption to every stream at the adopter:
+// rebuild slot routing and synchronization, re-announce the stream into
+// the adopted subtrees, and restore the lost level's composable filter
+// state — by replay through the normal pipeline when the filter supports
+// it (also regenerating information lost in flight), else by a silent
+// state absorb.
+func repairStreams(reg *filter.Registry, states []*streamState, c *cmdAdopt,
+	flush func(*streamState, [][]*packet.Packet)) {
+	for _, ss := range states {
+		// Rounds that were only gated on the dead slot complete now —
+		// flush them first, they are the oldest data.
+		if released := ss.rebuildSlots(c.slotInfo); len(released) > 0 {
+			flush(ss, released)
+		}
+		announceStream(ss, c.slots, c.links)
+		if batch := replayComposed(ss, c.composed); batch != nil {
+			flush(ss, [][]*packet.Packet{batch})
+		} else {
+			absorbComposed(reg, ss, c.composed)
+		}
+	}
+}
+
+// announceStream re-establishes a stream in newly adopted subtrees: the
+// opNewStream control message is replayed on each new child link whose
+// subtree carries members. Nodes that already know the stream ignore the
+// replay, so this only repairs state lost with the failed node.
+func announceStream(ss *streamState, slots []int, links []transport.Link) {
+	for i, slot := range slots {
+		if slot < len(ss.downChildren) && ss.downChildren[slot] {
+			_ = links[i].Send(ss.announcePacket())
+		}
+	}
+}
+
+// stateMerger matches reliability.Merger structurally, avoiding a core →
+// reliability dependency: stateful filters that can absorb a sibling
+// instance's state implement it (e.g. the eqclass filter).
+type stateMerger interface {
+	MergeState(other filter.StatefulTransformation) error
+}
+
+// stateReplayer is implemented by stateful filters that can turn a state
+// snapshot back into data packets. During adoption the composed lost state
+// is replayed through the adopter's normal filter pipeline, which both
+// absorbs it and re-forwards upstream any information that was in flight
+// with the failed node when it crashed — the strongest form of the
+// zero-cost repair.
+type stateReplayer interface {
+	ReplayState(state []byte) ([]*packet.Packet, error)
+}
+
+// replayComposed converts ss's composed lost state into a batch to feed
+// through the adopter's pipeline, or nil when the filter cannot replay
+// (callers then fall back to a silent absorb via absorbComposed).
+func replayComposed(ss *streamState, composed map[uint32][]byte) []*packet.Packet {
+	blob := composed[ss.id]
+	if len(blob) == 0 {
+		return nil
+	}
+	r, ok := ss.tform.(stateReplayer)
+	if !ok {
+		return nil
+	}
+	pkts, err := r.ReplayState(blob)
+	if err != nil || len(pkts) == 0 {
+		return nil
+	}
+	for i, p := range pkts {
+		pkts[i] = p.WithStream(ss.id)
+	}
+	return pkts
+}
+
+// absorbComposed merges a reconstructed (composed) filter state for ss into
+// the adopter's own filter instance, so suppression/accumulation semantics
+// survive the failed level's disappearance.
+func absorbComposed(reg *filter.Registry, ss *streamState, composed map[uint32][]byte) {
+	blob := composed[ss.id]
+	if len(blob) == 0 {
+		return
+	}
+	m, ok := ss.tform.(stateMerger)
+	if !ok {
+		return
+	}
+	nt, err := reg.NewTransformation(ss.tformName)
+	if err != nil {
+		return
+	}
+	scratch, ok := nt.(filter.StatefulTransformation)
+	if !ok {
+		return
+	}
+	if err := scratch.SetState(blob); err != nil {
+		return
+	}
+	_ = m.MergeState(scratch)
+}
+
+// recoverable reports whether orphaned subtrees should survive a parent
+// crash and await adoption (rather than abandoning ship).
+func (nw *Network) recoverable() bool { return nw.cfg.Recoverable }
+
+// Recoverable reports whether the network was configured for live recovery.
+func (nw *Network) Recoverable() bool { return nw.cfg.Recoverable }
+
+// Transport returns the network's link substrate kind.
+func (nw *Network) Transport() TransportKind { return nw.cfg.Transport }
+
+// HeartbeatPeriod returns the configured failure-detection beacon period
+// (zero when heartbeats are disabled).
+func (nw *Network) HeartbeatPeriod() time.Duration { return nw.cfg.HeartbeatPeriod }
+
+// Registry returns the filter registry the overlay instantiates from.
+func (nw *Network) Registry() *filter.Registry { return nw.registry }
+
+// noteHeartbeat records a liveness beacon observed at the front-end.
+func (nw *Network) noteHeartbeat(origin Rank) {
+	nw.metrics.HeartbeatsSeen.Add(1)
+	nw.hbMu.Lock()
+	nw.lastHB[origin] = time.Now()
+	nw.hbMu.Unlock()
+}
+
+// Heartbeats snapshots the last time each rank's beacon reached the
+// front-end. Ranks that have never been heard from are absent.
+func (nw *Network) Heartbeats() map[Rank]time.Time {
+	nw.hbMu.Lock()
+	defer nw.hbMu.Unlock()
+	out := make(map[Rank]time.Time, len(nw.lastHB))
+	for r, t := range nw.lastHB {
+		out[r] = t
+	}
+	return out
+}
+
+// heartbeatLoop periodically emits this rank's liveness beacon on its
+// current parent link. It stops at network teardown or when the rank is
+// killed; send failures (a dead parent, pre-adoption) are retried on the
+// next tick.
+func (nw *Network) heartbeatLoop(origin Rank, link func() transport.Link, stop <-chan struct{}) {
+	t := time.NewTicker(nw.cfg.HeartbeatPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-nw.dying:
+			return
+		case <-stop:
+			return
+		case <-t.C:
+			if l := link(); l != nil {
+				if err := l.Send(heartbeatPacket(origin)); err == nil {
+					nw.metrics.HeartbeatsSent.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Kill injects a crash fault: the process at rank is terminated without
+// warning and all its links are severed abruptly (in-flight packets lost),
+// on both the chan and TCP fabrics. The overlay is left running with a
+// hole; pair with Adopt (or internal/recovery's manager) to repair it.
+func (nw *Network) Kill(r Rank) error {
+	if r == 0 {
+		return fmt.Errorf("%w: the front-end cannot be killed", ErrNotRecoverable)
+	}
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return ErrShutdown
+	}
+	n := nw.byRank[r]
+	be := nw.bes[r]
+	nw.mu.Unlock()
+	if n == nil && be == nil {
+		return fmt.Errorf("core: no such rank %d", r)
+	}
+	nw.metrics.NodesFailed.Add(1)
+	if be != nil {
+		be.kill()
+	} else {
+		n.kill()
+	}
+	return nil
+}
+
+// sendNodeCmd delivers a command to a node's event loop, failing rather
+// than deadlocking if the node is dead or the network is tearing down.
+func (nw *Network) sendNodeCmd(n *node, c nodeCmd) error {
+	select {
+	case n.cmdCh <- c:
+		return nil
+	case <-n.killCh:
+		return fmt.Errorf("core: rank %d is dead", n.rank)
+	case <-nw.dying:
+		return ErrShutdown
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("core: rank %d did not accept command", n.rank)
+	}
+}
+
+// Adopt applies the zero-cost recovery rule to the running overlay after
+// the process at failed has crashed: its parent adopts the orphans, every
+// affected stream's routing and synchronization is rebuilt, streams are
+// re-announced into the adopted subtrees, and — via compose — the lost
+// node's composable filter state is reconstructed from the orphans'
+// snapshots and absorbed by the adopter. compose may be nil to skip state
+// reconstruction. Chan transport only (like AttachBackEnd).
+func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) {
+	if nw.cfg.Transport != ChanTransport {
+		return nil, fmt.Errorf("core: Adopt requires the chan transport")
+	}
+	nw.recMu.Lock()
+	defer nw.recMu.Unlock()
+	start := time.Now()
+
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if failed == 0 {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: the front-end is a single point of control", ErrNotRecoverable)
+	}
+	if !nw.view.valid(failed) {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: no such rank %d", ErrNotRecoverable, failed)
+	}
+	if nw.view.dead[failed] {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: rank %d already recovered", ErrNotRecoverable, failed)
+	}
+	parent := nw.view.parent[failed]
+	if nw.view.dead[parent] {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: parent %d of %d has also failed; recover it first", ErrNotRecoverable, parent, failed)
+	}
+	deadSlot := nw.view.slotOf(parent, failed)
+	origFailedChildren := append([]Rank(nil), nw.view.children[failed]...)
+	orphans, slots := nw.view.adopt(failed, parent)
+	info := nw.view.slotInfoLocked(parent)
+	orphanNodes := make([]*node, len(orphans))
+	orphanBEs := make([]*BackEnd, len(orphans))
+	for i, o := range orphans {
+		orphanNodes[i] = nw.byRank[o]
+		orphanBEs[i] = nw.bes[o]
+	}
+	adopterNode := nw.byRank[parent] // nil when the front-end adopts
+	nw.mu.Unlock()
+
+	// 1. Snapshot the orphans' composable filter state (internal orphans
+	// only; back-ends carry no filter state).
+	snaps := make([]map[uint32][]byte, len(orphans))
+	for i, on := range orphanNodes {
+		if on == nil {
+			continue
+		}
+		c := &cmdSnapshot{reply: make(chan map[uint32][]byte, 1)}
+		if err := nw.sendNodeCmd(on, c); err == nil {
+			snaps[i] = <-c.reply
+		}
+	}
+
+	// 2. Reconstruct the failed node's state per stream by composition.
+	composed := map[uint32][]byte{}
+	if compose != nil {
+		ids := map[uint32]bool{}
+		for _, s := range snaps {
+			for id := range s {
+				ids[id] = true
+			}
+		}
+		for id := range ids {
+			fss := nw.fe.state(id)
+			if fss == nil {
+				continue
+			}
+			blobs := make([][]byte, len(orphans))
+			for i, s := range snaps {
+				blobs[i] = s[id]
+			}
+			blob, err := compose(id, fss.tformName, blobs)
+			if err != nil {
+				nw.metrics.FilterErrors.Add(1)
+				continue
+			}
+			if len(blob) > 0 {
+				composed[id] = blob
+			}
+		}
+	}
+
+	// 3. Wire one fresh link per orphan and re-parent the orphans first:
+	// their reader goroutines must be live before the adopter sends
+	// stream re-announcements, or those sends could block on a full link
+	// buffer with nobody draining it. Orphan data sent before the adopter
+	// installs its ends just queues in the link.
+	links := make([]transport.Link, len(orphans))
+	childEnds := make([]transport.Link, len(orphans))
+	for i := range orphans {
+		links[i], childEnds[i] = transport.NewPair(nw.cfg.ChanBuf)
+	}
+	// rollback undoes the view mutation and severs the fresh links if the
+	// adopter cannot complete the installation (e.g. it was killed while
+	// this recovery ran), so a later retry starts from a consistent state
+	// and already-reparented orphans fall back to waiting. The orphan
+	// slots are vacated, not removed: a concurrent attach may have
+	// appended further slots whose indices must not shift.
+	rollback := func() {
+		for i := range links {
+			transport.DropLink(links[i])
+			transport.DropLink(childEnds[i])
+		}
+		nw.mu.Lock()
+		nw.view.dead[failed] = false
+		nw.view.children[failed] = origFailedChildren
+		nw.view.vacate(parent, slots)
+		for _, o := range orphans {
+			nw.view.parent[o] = failed
+		}
+		nw.mu.Unlock()
+	}
+	reparented := make([]bool, len(orphans))
+	for i := range orphans {
+		if on := orphanNodes[i]; on != nil {
+			c := &cmdReparent{link: childEnds[i], reply: make(chan struct{}, 1)}
+			if err := nw.sendNodeCmd(on, c); err == nil {
+				<-c.reply
+				reparented[i] = true
+			}
+			continue
+		}
+		if ob := orphanBEs[i]; ob != nil {
+			old := ob.parentLink()
+			select {
+			case ob.reparentCh <- childEnds[i]:
+				// Sever the old link even if the declared-dead parent is
+				// actually alive (a false-positive detection): the
+				// back-end's Recv then EOFs and it picks up the buffered
+				// replacement. For a real crash this is a no-op.
+				transport.DropLink(old)
+				reparented[i] = true
+			case <-ob.killCh:
+			case <-nw.dying:
+			}
+		}
+	}
+
+	// 4. Install the parent-side ends at the adopter: new child slots,
+	// stream routing/synchronizer rebuild, re-announce, state repair. An
+	// orphan that could not be reparented (itself dead — a cascading
+	// failure) gets no link: its slot stays empty until its own recovery,
+	// exactly like any other dead child awaiting adoption, instead of
+	// wiring a reader-less link that would wedge the adopter.
+	liveSlots := make([]int, 0, len(orphans))
+	liveLinks := make([]transport.Link, 0, len(orphans))
+	for i := range orphans {
+		if reparented[i] {
+			liveSlots = append(liveSlots, slots[i])
+			liveLinks = append(liveLinks, links[i])
+			continue
+		}
+		transport.DropLink(links[i])
+		transport.DropLink(childEnds[i])
+	}
+	adopt := &cmdAdopt{
+		deadSlot: deadSlot,
+		slots:    liveSlots,
+		links:    liveLinks,
+		slotInfo: info,
+		composed: composed,
+		reply:    make(chan error, 1),
+	}
+	if adopterNode != nil {
+		if err := nw.sendNodeCmd(adopterNode, adopt); err != nil {
+			rollback()
+			return nil, err
+		}
+		<-adopt.reply
+	} else {
+		// The front-end loop exits once every child link is gone (an
+		// unrecoverable state for the root's own children), so do not
+		// wait forever on it.
+		select {
+		case nw.fe.cmdCh <- adopt:
+			<-adopt.reply
+		case <-nw.dying:
+			rollback()
+			return nil, ErrShutdown
+		case <-time.After(5 * time.Second):
+			rollback()
+			return nil, fmt.Errorf("core: front-end did not accept the adoption")
+		}
+	}
+
+	rewire := time.Since(start)
+	nw.metrics.RecoveriesCompleted.Add(1)
+	nw.metrics.OrphansAdopted.Add(int64(len(orphans)))
+	nw.metrics.RecoveryNanos.Add(rewire.Nanoseconds())
+	return &Adoption{
+		Failed:          failed,
+		NewParent:       parent,
+		Orphans:         orphans,
+		StreamsComposed: len(composed),
+		Rewire:          rewire,
+	}, nil
+}

@@ -61,32 +61,43 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 	nw.nextID++
 	nw.mu.Unlock()
 
-	if spec.Transformation == "" {
-		spec.Transformation = ""
-	}
 	if spec.Synchronization == "" {
 		spec.Synchronization = "nullsync"
 	}
-	tree := nw.treeNow()
+	// Membership is validated against the live overlay: dead back-ends (a
+	// recovered failure) cannot join new streams.
+	nw.mu.Lock()
 	members := spec.Endpoints
 	if len(members) == 0 {
-		members = tree.Leaves()
-	}
-	for _, m := range members {
-		n := tree.Node(m)
-		if n == nil {
-			return nil, fmt.Errorf("core: stream endpoint %d does not exist", m)
+		members = nw.view.aliveLeaves()
+	} else {
+		for _, m := range members {
+			if !nw.view.valid(m) {
+				nw.mu.Unlock()
+				return nil, fmt.Errorf("core: stream endpoint %d does not exist", m)
+			}
+			if !nw.view.backend[m] {
+				nw.mu.Unlock()
+				return nil, fmt.Errorf("core: stream endpoint %d is not a back-end", m)
+			}
+			if nw.view.dead[m] {
+				nw.mu.Unlock()
+				return nil, fmt.Errorf("core: stream endpoint %d has failed", m)
+			}
 		}
-		if !n.IsLeaf() {
-			return nil, fmt.Errorf("core: stream endpoint %d is not a back-end", m)
-		}
 	}
+	nw.mu.Unlock()
 
 	// Instantiate the front-end's own filter level; this also validates
-	// both filter names before anything is announced downstream.
-	ss, err := newStreamState(tree, 0, nw.registry, id,
+	// both filter names before anything is announced downstream. Serialize
+	// with live recovery (recMu): otherwise a stream could snapshot the
+	// pre-adoption slot layout yet register after the adoption repaired
+	// every known stream, leaving it permanently mis-routed.
+	nw.recMu.Lock()
+	ss, err := newStreamState(nw, 0, nw.registry, id,
 		spec.Transformation, spec.Synchronization, spec.DownTransformation, members)
 	if err != nil {
+		nw.recMu.Unlock()
 		return nil, err
 	}
 
@@ -107,16 +118,13 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 	nw.streams[id] = st
 	nw.mu.Unlock()
 	nw.fe.setState(id, ss)
+	nw.recMu.Unlock()
 
 	// Announce downstream along member paths only.
 	ctrl := newStreamPacket(id, spec.Transformation, spec.Synchronization,
 		spec.DownTransformation, members)
-	for i, l := range nw.fe.ep.Children {
-		if ss.downChildren[i] {
-			if err := l.Send(ctrl); err != nil {
-				return nil, fmt.Errorf("core: announcing stream %d: %w", id, err)
-			}
-		}
+	if err := nw.fe.sendToStream(ss, ctrl); err != nil {
+		return nil, fmt.Errorf("core: announcing stream %d: %w", id, err)
 	}
 	return st, nil
 }
@@ -158,12 +166,8 @@ func (s *Stream) MulticastPacket(p *packet.Packet) error {
 	}
 	p = p.WithStream(s.id)
 	s.nw.metrics.PacketsDown.Add(1)
-	for i, l := range s.nw.fe.ep.Children {
-		if ss.downChildren[i] {
-			if err := l.Send(p); err != nil {
-				return fmt.Errorf("core: multicast on stream %d: %w", s.id, err)
-			}
-		}
+	if err := s.nw.fe.sendToStream(ss, p); err != nil {
+		return fmt.Errorf("core: multicast on stream %d: %w", s.id, err)
 	}
 	return nil
 }
@@ -226,14 +230,7 @@ func (s *Stream) Close() error {
 	s.closeOnce.Do(func() {
 		ss := s.nw.fe.state(s.id)
 		if ss != nil {
-			ctrl := closeStreamPacket(s.id)
-			for i, l := range s.nw.fe.ep.Children {
-				if ss.downChildren[i] {
-					if err := l.Send(ctrl); err != nil && sendErr == nil {
-						sendErr = err
-					}
-				}
-			}
+			sendErr = s.nw.fe.sendToStream(ss, closeStreamPacket(s.id))
 		}
 		s.nw.fe.dropState(s.id)
 		s.nw.mu.Lock()

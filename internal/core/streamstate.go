@@ -1,12 +1,51 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/filter"
 	"repro/internal/packet"
 	"repro/internal/topology"
 )
+
+// routeSnapshot returns the stream's participating-children flags, safe for
+// readers outside the owning event loop.
+func (ss *streamState) routeSnapshot() []bool {
+	ss.routeMu.RLock()
+	defer ss.routeMu.RUnlock()
+	return ss.downChildren
+}
+
+// slotInfo describes one child-link slot of a node for stream routing: the
+// child's rank, whether it is dead, and the live back-ends in its subtree.
+// Snapshots are taken from the network's liveView under Network.mu.
+type slotInfo struct {
+	child  Rank
+	dead   bool
+	leaves []Rank
+}
+
+// slotInfoAt snapshots the slot layout of rank's children from the live
+// view. The result aligns index-for-index with the node's ep.Children.
+func (nw *Network) slotInfoAt(rank Rank) []slotInfo {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.view.slotInfoLocked(rank)
+}
+
+func (v *liveView) slotInfoLocked(rank Rank) []slotInfo {
+	children := v.children[rank]
+	out := make([]slotInfo, len(children))
+	for i, c := range children {
+		if c == topology.NoRank { // vacated slot (rolled-back adoption)
+			out[i] = slotInfo{child: c, dead: true}
+			continue
+		}
+		out[i] = slotInfo{child: c, dead: v.dead[c], leaves: v.subtreeLeaves(c)}
+	}
+	return out
+}
 
 // streamState is the per-node, per-stream routing and filtering state
 // established by an opNewStream control message.
@@ -19,6 +58,18 @@ type streamState struct {
 	// filtering extension the paper proposes as future work.
 	downTform filter.Transformation
 
+	// The full stream spec is retained so recovery can re-announce the
+	// stream to adopted subtrees (repairing control messages lost with the
+	// failed node).
+	tformName, syncName, downName string
+	memberList                    []Rank
+	members                       map[Rank]bool
+
+	// routeMu guards the routing slices below: at the front-end they are
+	// read by user-goroutine multicasts while the receive loop may rebuild
+	// them during a recovery adoption. (At internal nodes all access is
+	// from the single event loop.)
+	routeMu sync.RWMutex
 	// downChildren holds, for each of the node's child link slots, whether
 	// the stream has members in that child's subtree (multicast routing).
 	downChildren []bool
@@ -31,7 +82,7 @@ type streamState struct {
 
 // newStreamState instantiates filters and routing for a stream at the node
 // with the given rank. members must be back-end ranks.
-func newStreamState(tree *topology.Tree, rank Rank, reg *filter.Registry,
+func newStreamState(nw *Network, rank Rank, reg *filter.Registry,
 	id uint32, tformName, syncName, downTformName string, members []Rank) (*streamState, error) {
 
 	tf, err := reg.NewTransformation(tformName)
@@ -53,37 +104,78 @@ func newStreamState(tree *topology.Tree, rank Rank, reg *filter.Registry,
 	for _, m := range members {
 		memberSet[m] = true
 	}
-	children := tree.Children(rank)
 	ss := &streamState{
-		id:           id,
-		tform:        tf,
-		sync:         sy,
-		downTform:    dtf,
-		downChildren: make([]bool, len(children)),
-		upSlot:       make([]int, len(children)),
+		id:         id,
+		tform:      tf,
+		sync:       sy,
+		downTform:  dtf,
+		tformName:  tformName,
+		syncName:   syncName,
+		downName:   downTformName,
+		memberList: append([]Rank(nil), members...),
+		members:    memberSet,
 	}
-	for i, c := range children {
-		ss.upSlot[i] = -1
-		for _, leaf := range tree.SubtreeLeaves(c) {
-			if memberSet[leaf] {
-				ss.downChildren[i] = true
+	ss.rebuildSlots(nw.slotInfoAt(rank))
+	return ss, nil
+}
+
+// rebuildSlots recomputes routing (downChildren, upSlot, numUp) from a
+// fresh slot snapshot and rewires the synchronizer accordingly. It is
+// called once at stream creation and again whenever recovery changes the
+// node's child set; packets already queued per surviving slot are preserved
+// when the synchronizer supports remapping, and batches completed by the
+// removal of a dead slot are returned for the caller to flush.
+func (ss *streamState) rebuildSlots(slots []slotInfo) [][]*packet.Packet {
+	oldUpSlot := ss.upSlot
+	down := make([]bool, len(slots))
+	up := make([]int, len(slots))
+	remap := make([]int, ss.numUp)
+	for i := range remap {
+		remap[i] = -1
+	}
+	dense := 0
+	for i, sl := range slots {
+		up[i] = -1
+		if sl.dead {
+			continue
+		}
+		for _, leaf := range sl.leaves {
+			if ss.members[leaf] {
+				down[i] = true
 				break
 			}
 		}
-		if ss.downChildren[i] {
-			ss.upSlot[i] = ss.numUp
-			ss.numUp++
+		if !down[i] {
+			continue
 		}
+		up[i] = dense
+		if i < len(oldUpSlot) && oldUpSlot[i] >= 0 && oldUpSlot[i] < len(remap) {
+			remap[oldUpSlot[i]] = dense
+		}
+		dense++
 	}
-	// Both synchronizers (WaitForAll) and transformations (e.g. the
-	// time-alignment filter) may need to know how many children feed them.
-	if ca, ok := sy.(filter.ChildAware); ok {
-		ca.SetNumChildren(ss.numUp)
+	first := oldUpSlot == nil
+	ss.routeMu.Lock()
+	ss.downChildren = down
+	ss.upSlot = up
+	ss.numUp = dense
+	ss.routeMu.Unlock()
+	var released [][]*packet.Packet
+	if r, ok := ss.sync.(filter.SlotRemapper); ok && !first {
+		released = r.RemapSlots(remap, dense)
+	} else if ca, ok := ss.sync.(filter.ChildAware); ok {
+		ca.SetNumChildren(dense)
 	}
-	if ca, ok := tf.(filter.ChildAware); ok {
-		ca.SetNumChildren(ss.numUp)
+	if ca, ok := ss.tform.(filter.ChildAware); ok {
+		ca.SetNumChildren(dense)
 	}
-	return ss, nil
+	return released
+}
+
+// announcePacket rebuilds the opNewStream control message for this stream,
+// used to (re-)establish it in adopted subtrees during recovery.
+func (ss *streamState) announcePacket() *packet.Packet {
+	return newStreamPacket(ss.id, ss.tformName, ss.syncName, ss.downName, ss.memberList)
 }
 
 // add feeds an upstream packet arriving on child link slot childIdx through

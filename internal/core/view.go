@@ -1,0 +1,119 @@
+package core
+
+import "repro/internal/topology"
+
+// liveView tracks the overlay's current shape in the ORIGINAL rank
+// numbering, which never changes at runtime (packets, nodes and streams all
+// carry original ranks). The offline planner (internal/reliability) compacts
+// ranks after a failure; the live engine instead keeps dead ranks in place,
+// marked, so links, slots and stream members stay valid.
+//
+// children is slot-aligned with each node's transport.Endpoint.Children:
+// a dead child keeps its slot (the link is gone but the index must not
+// shift), and adoption appends orphan slots at the end. All access is
+// guarded by Network.mu.
+type liveView struct {
+	parent   []Rank
+	children [][]Rank
+	dead     []bool
+	backend  []bool
+}
+
+func newLiveView(t *topology.Tree) *liveView {
+	n := t.Len()
+	v := &liveView{
+		parent:   make([]Rank, n),
+		children: make([][]Rank, n),
+		dead:     make([]bool, n),
+		backend:  make([]bool, n),
+	}
+	for r := 0; r < n; r++ {
+		tn := t.Node(Rank(r))
+		v.parent[r] = tn.Parent
+		v.children[r] = append([]Rank(nil), tn.Children...)
+		v.backend[r] = tn.IsLeaf()
+	}
+	return v
+}
+
+// valid reports whether r names a node the view knows about.
+func (v *liveView) valid(r Rank) bool { return r >= 0 && int(r) < len(v.parent) }
+
+// addLeaf registers a dynamically attached back-end under parent and
+// returns its rank and the child-slot index it occupies at the parent.
+func (v *liveView) addLeaf(parent Rank) (Rank, int) {
+	r := Rank(len(v.parent))
+	v.parent = append(v.parent, parent)
+	v.children = append(v.children, nil)
+	v.dead = append(v.dead, false)
+	v.backend = append(v.backend, true)
+	slot := len(v.children[parent])
+	v.children[parent] = append(v.children[parent], r)
+	return r, slot
+}
+
+// adopt marks failed dead and re-parents its live children onto newParent,
+// appending one child slot per orphan. It returns the orphans in slot order
+// and the slot indices they occupy at newParent.
+func (v *liveView) adopt(failed, newParent Rank) (orphans []Rank, slots []int) {
+	v.dead[failed] = true
+	for _, c := range v.children[failed] {
+		if c == topology.NoRank || v.dead[c] {
+			continue
+		}
+		orphans = append(orphans, c)
+		slots = append(slots, len(v.children[newParent]))
+		v.children[newParent] = append(v.children[newParent], c)
+		v.parent[c] = newParent
+	}
+	v.children[failed] = nil
+	return orphans, slots
+}
+
+// slotOf returns the child-slot index of child at parent, or -1.
+func (v *liveView) slotOf(parent, child Rank) int {
+	for i, c := range v.children[parent] {
+		if c == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// vacate turns parent's given child slots into permanent placeholders
+// (topology.NoRank). Slot indices must stay stable — they align with the
+// owner's link slots — so a rolled-back adoption blanks its slots instead
+// of removing them.
+func (v *liveView) vacate(parent Rank, slots []int) {
+	for _, s := range slots {
+		if s >= 0 && s < len(v.children[parent]) {
+			v.children[parent][s] = topology.NoRank
+		}
+	}
+}
+
+// subtreeLeaves returns the live back-ends in the subtree rooted at r.
+func (v *liveView) subtreeLeaves(r Rank) []Rank {
+	if r == topology.NoRank || v.dead[r] {
+		return nil
+	}
+	if v.backend[r] {
+		return []Rank{r}
+	}
+	var out []Rank
+	for _, c := range v.children[r] {
+		out = append(out, v.subtreeLeaves(c)...)
+	}
+	return out
+}
+
+// aliveLeaves returns every live back-end, in rank order.
+func (v *liveView) aliveLeaves() []Rank {
+	var out []Rank
+	for r := range v.parent {
+		if v.backend[r] && !v.dead[r] {
+			out = append(out, Rank(r))
+		}
+	}
+	return out
+}

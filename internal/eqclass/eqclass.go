@@ -184,6 +184,31 @@ func (f *Filter) SetState(b []byte) error {
 	return nil
 }
 
+// ReplayState converts a state snapshot back into the data packet whose
+// processing reproduces it. Failure recovery replays a lost node's
+// composed state through the adopting node's filter pipeline: the adopter
+// absorbs it and re-forwards upstream whatever information had been lost
+// in flight with the failed node, while duplicates are suppressed level by
+// level as usual. Replayed packets carry packet.TagEvent.
+func (f *Filter) ReplayState(state []byte) ([]*packet.Packet, error) {
+	p, err := packet.Decode(state)
+	if err != nil {
+		return nil, err
+	}
+	s, err := FromPacket(p)
+	if err != nil {
+		return nil, err
+	}
+	if s.Len() == 0 {
+		return nil, nil
+	}
+	out, err := s.ToPacket(packet.TagEvent, 0, packet.UnknownRank)
+	if err != nil {
+		return nil, err
+	}
+	return []*packet.Packet{out}, nil
+}
+
 // MergeState folds another eqclass filter's seen-set into this one. It
 // implements the reliability package's Merger interface, making the filter
 // state composable for zero-cost recovery: a lost node's state is the

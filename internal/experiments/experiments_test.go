@@ -273,3 +273,33 @@ func TestMakespanModelMonotone(t *testing.T) {
 		t.Errorf("costly net makespan %v vs free %v: transfer cost missing", tCostly, tCheap)
 	}
 }
+
+// TestRecoveryStudy: every shape recovers, produces the correct
+// post-recovery answer, and reports sane latencies (detection at least the
+// configured timeout, totals dominated by detection, not rewiring).
+func TestRecoveryStudy(t *testing.T) {
+	cfg := DefaultRecoveryConfig()
+	cfg.Shapes = []string{"kary:2^3", "kary:4^2"}
+	rows, err := RunRecovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("%s: post-recovery reduction incorrect", r.Shape)
+		}
+		if r.Detection < cfg.Timeout {
+			t.Errorf("%s: detection %v under the %v timeout", r.Shape, r.Detection, cfg.Timeout)
+		}
+		if r.Rewire <= 0 || r.Total < r.Detection {
+			t.Errorf("%s: implausible latencies %+v", r.Shape, r)
+		}
+		if r.Orphans <= 0 {
+			t.Errorf("%s: internal victim %d adopted no orphans", r.Shape, r.Victim)
+		}
+	}
+	t.Logf("\n%s", RecoveryTable(rows))
+}

@@ -19,6 +19,17 @@ type Drainer interface {
 	Drain() [][]*packet.Packet
 }
 
+// SlotRemapper is implemented by synchronizers with per-child state that can
+// survive a change in the child set, as happens when failure recovery makes
+// a node adopt its grandchildren. remap[old] gives the new dense slot for
+// each existing slot, or -1 to discard that slot's held packets (the slot
+// belonged to the failed child); n is the new slot count. Batches that
+// become releasable under the new layout (e.g. a round that was only
+// waiting on the removed slot) are returned so the caller can flush them.
+type SlotRemapper interface {
+	RemapSlots(remap []int, n int) [][]*packet.Packet
+}
+
 // NullSync delivers every packet immediately upon receipt — MRNet's "null"
 // synchronization filter.
 type NullSync struct{}
@@ -93,6 +104,32 @@ func (w *WaitForAll) complete() bool {
 		}
 	}
 	return true
+}
+
+// RemapSlots rewires the per-child queues onto a new slot layout, keeping
+// packets already queued from surviving children and discarding those of
+// dropped (failed) slots. New slots start with empty queues. Rounds that
+// were only waiting on a removed slot become complete under the new layout
+// and are released immediately.
+func (w *WaitForAll) RemapSlots(remap []int, n int) [][]*packet.Packet {
+	queues := make([][]*packet.Packet, n)
+	for old, nu := range remap {
+		if nu >= 0 && nu < n && old < len(w.queues) {
+			queues[nu] = w.queues[old]
+		}
+	}
+	w.n = n
+	w.queues = queues
+	var out [][]*packet.Packet
+	for w.complete() {
+		batch := make([]*packet.Packet, w.n)
+		for i := range w.queues {
+			batch[i] = w.queues[i][0]
+			w.queues[i] = w.queues[i][1:]
+		}
+		out = append(out, batch)
+	}
+	return out
 }
 
 // Poll never releases on time alone.

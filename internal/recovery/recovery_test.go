@@ -1,0 +1,482 @@
+package recovery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eqclass"
+	"repro/internal/filter"
+	"repro/internal/topology"
+)
+
+const tagQuery = 100
+
+func mustTree(t *testing.T, spec string) *topology.Tree {
+	t.Helper()
+	tr, err := topology.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// sumEcho builds a recoverable, heartbeating network whose back-ends
+// answer every multicast with their rank.
+func sumEcho(t *testing.T, spec string, hb time.Duration) *core.Network {
+	t.Helper()
+	nw, err := core.NewNetwork(core.Config{
+		Topology:        mustTree(t, spec),
+		Recoverable:     true,
+		HeartbeatPeriod: hb,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				// Transient failures are expected while orphaned.
+				_ = be.Send(p.StreamID, p.Tag, "%f", float64(be.Rank()))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestManagerAutoRecoversInternalFailure(t *testing.T) {
+	nw := sumEcho(t, "kary:2^2", 10*time.Millisecond)
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(want float64) {
+		t.Helper()
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := p.Float(0); v != want {
+			t.Errorf("sum = %g, want %g", v, want)
+		}
+	}
+	round(18)
+
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(mgr.Reports()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never recovered the killed node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep := mgr.Reports()[0]
+	if rep.Failed != 1 || rep.NewParent != 0 || len(rep.Orphans) != 2 {
+		t.Errorf("report = failed %d, parent %d, orphans %v", rep.Failed, rep.NewParent, rep.Orphans)
+	}
+	if rep.Detection <= 0 || rep.Total < rep.Rewire {
+		t.Errorf("latencies: detection %v, rewire %v, total %v", rep.Detection, rep.Rewire, rep.Total)
+	}
+	if rep.Plan == nil || rep.Plan.Tree.Len() != 6 {
+		t.Error("report carries no usable plan")
+	}
+
+	// The same stream keeps serving the full membership.
+	for i := 0; i < 3; i++ {
+		round(18)
+	}
+	if nw.Metrics().RecoveriesCompleted.Load() != 1 {
+		t.Errorf("RecoveriesCompleted = %d", nw.Metrics().RecoveriesCompleted.Load())
+	}
+}
+
+func TestManagerRecoversLeafFailure(t *testing.T) {
+	nw := sumEcho(t, "kary:2^2", 10*time.Millisecond)
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	if err := nw.Kill(6); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(mgr.Reports()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never noticed the dead back-end")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep := mgr.Reports()[0]; rep.Failed != 6 || len(rep.Orphans) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// New full-membership streams exclude the dead leaf.
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 12 { // 3+4+5
+		t.Errorf("sum after leaf failure = %g, want 12", v)
+	}
+}
+
+func TestManagerSequentialFailures(t *testing.T) {
+	nw := sumEcho(t, "kary:2^3", 10*time.Millisecond)
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, victim := range []core.Rank{3, 1} { // child first, then its (former) parent
+		if err := nw.Kill(victim); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for len(mgr.Reports()) <= i {
+			if time.Now().After(deadline) {
+				t.Fatalf("failure %d of rank %d never recovered", i, victim)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("after failure %d: %v", i, err)
+		}
+		if v, _ := p.Int(0); v != 8 {
+			t.Errorf("after failure %d: count = %d, want 8 (no back-end lost)", i, v)
+		}
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	plain, err := core.NewNetwork(core.Config{Topology: mustTree(t, "flat:2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Shutdown()
+	if _, err := New(plain, Config{}); err == nil {
+		t.Error("non-recoverable network: want error")
+	}
+
+	noHB, err := core.NewNetwork(core.Config{Topology: mustTree(t, "flat:2"), Recoverable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noHB.Shutdown()
+	m, err := New(noHB, Config{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Error("start without heartbeats: want error")
+	}
+
+	hb := sumEcho(t, "flat:2", 50*time.Millisecond)
+	defer hb.Shutdown()
+	if _, err := New(hb, Config{Timeout: 60 * time.Millisecond}); err == nil {
+		t.Error("timeout under two heartbeat periods: want error")
+	}
+
+	tcp, err := core.NewNetwork(core.Config{Topology: mustTree(t, "flat:2"), Recoverable: true, Transport: core.TCPTransport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Shutdown()
+	if _, err := New(tcp, Config{Timeout: time.Second}); err == nil {
+		t.Error("TCP transport: want error (live rewiring is chan-only)")
+	}
+}
+
+// leafPairs is the deterministic (class, member) report of the i'th leaf,
+// large enough that it takes several query rounds to stream out.
+func leafPairs(i int) [][2]any {
+	oses := []string{"os/linux", "os/aix", "os/sunos"}
+	pairs := [][2]any{
+		{oses[i%len(oses)], int64(i)},
+		{"cpu", int64(i % 4)},
+	}
+	for j := 0; j < 4; j++ {
+		pairs = append(pairs, [2]any{fmt.Sprintf("mod/%d", j), int64(i)})
+	}
+	return pairs
+}
+
+// setFingerprint renders a class set canonically for comparison.
+func setFingerprint(s *eqclass.Set) string {
+	var parts []string
+	for _, k := range s.Keys() {
+		for _, m := range s.Members(k) {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, m))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// runEqclassWorkload drives the paper's equivalence-class computation on
+// the given tree: back-ends (re-)send their full report on every query,
+// the overlay suppresses duplicates level by level, and the front-end
+// accumulates deltas. If kill is non-negative, that rank is crashed
+// mid-stream and the manager must recover it live. Returns the
+// front-end's final accumulated set and the recovery reports.
+func runEqclassWorkload(t *testing.T, spec string, kill core.Rank) (string, []Report) {
+	t.Helper()
+	reg := filter.NewRegistry()
+	eqclass.Register(reg)
+	tree := mustTree(t, spec)
+	leaves := tree.Leaves()
+	leafIdx := map[core.Rank]int{}
+	for i, l := range leaves {
+		leafIdx[l] = i
+	}
+	want := eqclass.NewSet()
+	for i := range leaves {
+		for _, pr := range leafPairs(i) {
+			want.Add(pr[0].(string), pr[1].(int64))
+		}
+	}
+
+	nw, err := core.NewNetwork(core.Config{
+		Topology:        tree,
+		Registry:        reg,
+		Recoverable:     true,
+		HeartbeatPeriod: 10 * time.Millisecond,
+		OnBackEnd: func(be *core.BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				// Each query round reveals one pair of the report, so the
+				// data is still streaming when the fault lands; resending
+				// cycles through the report, which is safe because the
+				// equivalence-class reduction is idempotent.
+				round, err := p.Int(0)
+				if err != nil {
+					continue
+				}
+				pairs := leafPairs(leafIdx[be.Rank()])
+				pr := pairs[int(round)%len(pairs)]
+				s := eqclass.NewSet()
+				s.Add(pr[0].(string), pr[1].(int64))
+				rp, err := s.ToPacket(p.Tag, p.StreamID, be.Rank())
+				if err != nil {
+					return err
+				}
+				_ = be.SendPacket(rp) // orphaned sends fail; resent next cycle
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	st, err := nw.NewStream(core.StreamSpec{
+		Transformation:  eqclass.FilterName,
+		Synchronization: "nullsync",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc := eqclass.NewSet()
+	deadline := time.Now().Add(30 * time.Second)
+	killed := false
+	for round := 0; ; round++ {
+		if kill >= 0 && round == 3 && !killed {
+			if err := nw.Kill(kill); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+		}
+		if err := st.Multicast(tagQuery, "%d", int64(round)); err != nil {
+			t.Fatal(err)
+		}
+		// Drain whatever deltas (including recovery state replays) are in.
+	drain:
+		for {
+			p, err := st.RecvTimeout(20 * time.Millisecond)
+			if err != nil {
+				break drain
+			}
+			s, err := eqclass.FromPacket(p)
+			if err != nil {
+				continue
+			}
+			acc.Merge(s)
+		}
+		converged := acc.Len() == want.Len() && setFingerprint(acc) == setFingerprint(want)
+		recovered := kill < 0 || (killed && len(mgr.Reports()) > 0)
+		if converged && recovered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front-end never converged: have %q, want %q (recovered: %v)",
+				setFingerprint(acc), setFingerprint(want), recovered)
+		}
+	}
+	return setFingerprint(acc), mgr.Reports()
+}
+
+// TestChaosKillMidStreamMatchesUnfailedRun is the acceptance check:
+// killing a random internal communication process on a running network
+// with an active composable reduction yields the same final reduced
+// result as a run that never failed.
+func TestChaosKillMidStreamMatchesUnfailedRun(t *testing.T) {
+	for _, spec := range []string{"kary:3^2", "kary:2^3"} {
+		t.Run(spec, func(t *testing.T) {
+			tree := mustTree(t, spec)
+			internals := tree.InternalNodes()
+			victim := internals[rand.Intn(len(internals))]
+
+			clean, cleanReps := runEqclassWorkload(t, spec, -1)
+			if len(cleanReps) != 0 {
+				t.Errorf("unfailed run recovered something: %v", cleanReps)
+			}
+			failed, reps := runEqclassWorkload(t, spec, victim)
+			if failed != clean {
+				t.Errorf("victim %d: failed-run result %q != unfailed %q", victim, failed, clean)
+			}
+			if len(reps) != 1 || reps[0].Failed != victim {
+				t.Fatalf("victim %d: reports = %+v", victim, reps)
+			}
+			// When the orphans are internal processes they carry eqclass
+			// state, and the lost level's state must have been rebuilt by
+			// composition.
+			if len(tree.Children(victim)) > 0 && !tree.Node(tree.Children(victim)[0]).IsLeaf() {
+				if reps[0].StreamsComposed == 0 {
+					t.Error("internal orphans but no stream state composed")
+				}
+			}
+		})
+	}
+}
+
+// TestManagerRestart: a stopped manager can be started again (regression:
+// the stop/done channels used to be single-use).
+func TestManagerRestart(t *testing.T) {
+	nw := sumEcho(t, "kary:2^2", 10*time.Millisecond)
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := mgr.Start(); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		mgr.Stop()
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(mgr.Reports()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted manager never recovered the failure")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestManagerSimultaneousCascade: every root child (and one deeper node)
+// dies at once. The front-end must stay up with zero live children, adopt
+// the orphans shallowest-first as the detector declares them, and end up
+// serving all back-ends again.
+func TestManagerSimultaneousCascade(t *testing.T) {
+	nw := sumEcho(t, "kary:2^2", 10*time.Millisecond) // 0; 1,2; leaves 3..6
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(mgr.Reports()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 2 failures recovered", len(mgr.Reports()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Float(0); v != 18 { // all four back-ends survived
+		t.Errorf("post-cascade sum = %g, want 18", v)
+	}
+}

@@ -101,6 +101,10 @@ func (l *Link) Send(p *packet.Packet) error {
 	return l.Link.Send(p)
 }
 
+// Drop severs the wrapped link abruptly (crash modeling); the cost model
+// does not apply to a failure.
+func (l *Link) Drop() { transport.DropLink(l.Link) }
+
 // Wrap decorates every link of every endpoint with the cost model. All
 // wrapped links share the provided clock (which may be nil).
 func Wrap(eps []*transport.Endpoint, m Model, clock *Clock, timeScale float64) {

@@ -18,9 +18,12 @@ type chanLink struct {
 	send chan *packet.Packet
 	recv chan *packet.Packet
 
-	ownClosed  chan struct{} // closed when this end Closes
-	peerClosed chan struct{} // closed when the peer end Closes
-	closeOnce  *sync.Once    // guards ownClosed
+	ownClosed   chan struct{} // closed when this end Closes
+	peerClosed  chan struct{} // closed when the peer end Closes
+	closeOnce   *sync.Once    // guards ownClosed
+	ownDropped  chan struct{} // closed when this end Drops (crash)
+	peerDropped chan struct{} // closed when the peer end Drops
+	dropOnce    *sync.Once    // guards ownDropped
 }
 
 // DefaultChanBuffer is the per-direction packet buffer used when callers
@@ -37,15 +40,21 @@ func NewPair(buf int) (Link, Link) {
 	ba := make(chan *packet.Packet, buf)
 	aClosed := make(chan struct{})
 	bClosed := make(chan struct{})
+	aDropped := make(chan struct{})
+	bDropped := make(chan struct{})
 	a := &chanLink{
 		send: ab, recv: ba,
 		ownClosed: aClosed, peerClosed: bClosed,
-		closeOnce: &sync.Once{},
+		closeOnce:  &sync.Once{},
+		ownDropped: aDropped, peerDropped: bDropped,
+		dropOnce: &sync.Once{},
 	}
 	b := &chanLink{
 		send: ba, recv: ab,
 		ownClosed: bClosed, peerClosed: aClosed,
-		closeOnce: &sync.Once{},
+		closeOnce:  &sync.Once{},
+		ownDropped: bDropped, peerDropped: aDropped,
+		dropOnce: &sync.Once{},
 	}
 	return a, b
 }
@@ -72,8 +81,15 @@ func (l *chanLink) Send(p *packet.Packet) error {
 }
 
 // Recv returns the next packet. After the peer closes, Recv drains any
-// packets already in flight and then reports io.EOF.
+// packets already in flight and then reports io.EOF; after the peer
+// Drops (crash), the in-flight packets are lost and Recv reports io.EOF
+// immediately.
 func (l *chanLink) Recv() (*packet.Packet, error) {
+	select {
+	case <-l.peerDropped:
+		return nil, io.EOF
+	default:
+	}
 	select {
 	case p := <-l.recv:
 		return p, nil
@@ -90,6 +106,13 @@ func (l *chanLink) Recv() (*packet.Packet, error) {
 }
 
 func (l *chanLink) drainOrEOF() (*packet.Packet, error) {
+	// A dropped peer models a crash: whatever it had "on the wire" is lost,
+	// so report EOF immediately instead of draining.
+	select {
+	case <-l.peerDropped:
+		return nil, io.EOF
+	default:
+	}
 	select {
 	case p := <-l.recv:
 		return p, nil
@@ -103,6 +126,13 @@ func (l *chanLink) drainOrEOF() (*packet.Packet, error) {
 func (l *chanLink) Close() error {
 	l.closeOnce.Do(func() { close(l.ownClosed) })
 	return nil
+}
+
+// Drop severs the link as a crash would: the peer's Recv reports EOF without
+// draining packets already buffered, modeling in-flight data loss.
+func (l *chanLink) Drop() {
+	l.dropOnce.Do(func() { close(l.ownDropped) })
+	_ = l.Close()
 }
 
 // NewChanFabric wires an entire topology with in-process links, returning

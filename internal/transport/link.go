@@ -29,6 +29,28 @@ type Link interface {
 	Close() error
 }
 
+// Dropper is implemented by links that can model a process crash: Drop
+// severs the link abruptly, discarding any packets still in flight, so the
+// peer observes an unexpected EOF rather than a graceful drain. Fault
+// injection (core.Network.Kill) uses this to make the chan and TCP fabrics
+// fail the same way a real crashed process would.
+type Dropper interface {
+	Drop()
+}
+
+// DropLink severs a link abruptly, preferring the Dropper fast-fail path
+// and falling back to an ordinary Close for links that cannot model loss.
+func DropLink(l Link) {
+	if l == nil {
+		return
+	}
+	if d, ok := l.(Dropper); ok {
+		d.Drop()
+		return
+	}
+	_ = l.Close()
+}
+
 // Endpoint bundles the links a single tree node uses: one toward its parent
 // (nil for the front-end) and one per child, index-aligned with the
 // topology's child order.
@@ -36,6 +58,15 @@ type Endpoint struct {
 	Rank     packet.Rank
 	Parent   Link
 	Children []Link
+}
+
+// Drop abruptly severs every link owned by the endpoint, modeling the
+// owning process crashing.
+func (e *Endpoint) Drop() {
+	DropLink(e.Parent)
+	for _, c := range e.Children {
+		DropLink(c)
+	}
 }
 
 // Close closes every link owned by the endpoint, returning the first error.

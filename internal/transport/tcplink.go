@@ -67,6 +67,15 @@ func (l *tcpLink) Close() error {
 	return l.closeErr
 }
 
+// Drop severs the connection abruptly: SO_LINGER 0 makes the close discard
+// unsent data and send a RST, so the peer sees a crash, not a clean FIN.
+func (l *tcpLink) Drop() {
+	if tc, ok := l.conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = l.Close()
+}
+
 func (l *tcpLink) mapErr(err error) error {
 	if errors.Is(err, net.ErrClosed) || isClosedConn(err) {
 		return ErrClosed

@@ -427,3 +427,42 @@ func ExampleNewPair() {
 	fmt.Println(s)
 	// Output: hello
 }
+
+// TestChanDropLosesInFlight: Drop models a crash — packets buffered on
+// the wire are lost and the peer sees EOF immediately, deterministically
+// (regression: the Recv fast path used to drain them).
+func TestChanDropLosesInFlight(t *testing.T) {
+	a, b := NewPair(8)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(packet.MustNew(100, 1, 0, "%d", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.(Dropper).Drop()
+	if p, err := b.Recv(); err != io.EOF {
+		t.Fatalf("Recv after peer drop = %v, %v; want io.EOF", p, err)
+	}
+	if err := b.Send(packet.MustNew(100, 1, 0, "%d", int64(9))); err != ErrClosed {
+		t.Fatalf("Send after peer drop = %v; want ErrClosed", err)
+	}
+}
+
+// TestChanCloseStillDrains: ordinary Close keeps the graceful contract —
+// the peer drains in-flight packets before EOF.
+func TestChanCloseStillDrains(t *testing.T) {
+	a, b := NewPair(8)
+	if err := a.Send(packet.MustNew(100, 1, 0, "%d", int64(7))); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	p, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv after peer close: %v", err)
+	}
+	if v, _ := p.Int(0); v != 7 {
+		t.Errorf("drained %d, want 7", v)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Errorf("second Recv = %v, want io.EOF", err)
+	}
+}
