@@ -139,6 +139,29 @@ func BenchmarkTransports(b *testing.B) {
 	}
 }
 
+// BenchmarkBatching measures upstream small-packet throughput with egress
+// batching off vs on (ABLATE-BATCHING): every back-end blasts single-int
+// packets through a waitforall+sum pipeline on the chan transport. The
+// batched configuration should sustain well over 1.5x the baseline
+// packets/sec.
+func BenchmarkBatching(b *testing.B) {
+	const leaves, fanOut, rounds = 256, 16, 600
+	for _, cfg := range []struct {
+		name   string
+		window int
+	}{{"off", 0}, {"on-w64", 64}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rate, err := experiments.BatchingPoint(leaves, fanOut, cfg.window, rounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rate, "pkts/s")
+			}
+		})
+	}
+}
+
 // BenchmarkRecovery regenerates T-RECOVERY points: end-to-end live
 // failure recovery (heartbeat detection + grandparent adoption) on a
 // running overlay, per tree shape.

@@ -12,6 +12,7 @@
 //	tbon-bench -exp sync          # ablation: synchronization policies
 //	tbon-bench -exp transport     # ablation: chan vs TCP substrate
 //	tbon-bench -exp recovery      # T-RECOVERY: failure recovery latency
+//	tbon-bench -exp batching      # ablation: egress flush window sweep
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales.
@@ -29,11 +30,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|all")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
 	daemons := flag.Int("daemons", 0, "startup daemon count (default 512)")
 	sgfaLeaves := flag.Int("sgfa-leaves", 0, "sgfa back-end count (default 1024)")
+	batchLeaves := flag.Int("batch-leaves", 0, "batching ablation back-end count (default 256)")
+	batchRounds := flag.Int("batch-rounds", 0, "batching ablation packets per back-end (default 200)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -147,6 +150,22 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.RecoveryTable(rows))
+		return nil
+	})
+
+	run("batching", func() error {
+		cfg := experiments.DefaultBatchingConfig()
+		if *batchLeaves > 0 {
+			cfg.Leaves = *batchLeaves
+		}
+		if *batchRounds > 0 {
+			cfg.Rounds = *batchRounds
+		}
+		rows, err := experiments.RunBatching(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.BatchingTable(cfg, rows))
 		return nil
 	})
 }

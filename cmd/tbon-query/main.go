@@ -26,11 +26,16 @@ func main() {
 	spec := flag.String("spec", "balanced:64,8", "topology specification")
 	q := flag.String("q", "select count(rank), avg(load), max(mem) group by zone", "query text")
 	seed := flag.Int64("seed", 1, "attribute noise seed")
+	batch := flag.Int("batch", 0, "egress batching flush window (0 = off)")
 	flag.Parse()
 
 	tree, err := topology.ParseSpec(*spec)
 	if err != nil {
 		fatal(err)
+	}
+	var opts []query.Option
+	if *batch > 1 {
+		opts = append(opts, query.WithBatch(core.BatchPolicy{MaxBatch: *batch, Adaptive: true}))
 	}
 	eng, err := query.NewEngine(tree, func(rank core.Rank) query.AttrSource {
 		rng := rand.New(rand.NewSource(*seed + int64(rank)))
@@ -41,7 +46,7 @@ func main() {
 				"mem":  float64(256 + rank%32*64),
 			}
 		}
-	})
+	}, opts...)
 	if err != nil {
 		fatal(err)
 	}

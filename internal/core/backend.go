@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/packet"
 	"repro/internal/transport"
@@ -27,10 +28,19 @@ type BackEnd struct {
 	// killCh is closed by Kill to crash the back-end.
 	killCh   chan struct{}
 	killOnce sync.Once
+
+	// egMu guards the upstream egress queue, shared between the handler
+	// goroutine (Send) and the link loop (age flushes, reparent, drain).
+	// eg is nil when batching is disabled. egKick wakes the age flusher
+	// when the queue transitions empty -> non-empty, so an idle back-end
+	// costs no timer traffic at all.
+	egMu   sync.Mutex
+	eg     *egressQueue
+	egKick chan struct{}
 }
 
 func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
-	return &BackEnd{
+	be := &BackEnd{
 		nw:         nw,
 		rank:       rank,
 		ep:         ep,
@@ -38,6 +48,11 @@ func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
 		reparentCh: make(chan transport.Link, 1),
 		killCh:     make(chan struct{}),
 	}
+	if nw.cfg.Batch.enabled() {
+		be.eg = newEgressQueue(ep.Parent, nw.cfg.Batch, &nw.metrics, nw.recoverable())
+		be.egKick = make(chan struct{}, 1)
+	}
+	return be
 }
 
 // Rank returns the back-end's overlay rank.
@@ -84,7 +99,8 @@ func (be *BackEnd) Recv() (*packet.Packet, error) {
 
 // Send emits an upstream packet on the given stream. The packet enters the
 // filter pipeline at the back-end's parent and is reduced on its way to the
-// front-end.
+// front-end. The values are retained by the packet (see packet.New): a
+// caller expanding a long-lived []any with ... must not mutate it after.
 func (be *BackEnd) Send(streamID uint32, tag int32, format string, values ...any) error {
 	p, err := packet.New(tag, streamID, be.rank, format, values...)
 	if err != nil {
@@ -94,12 +110,92 @@ func (be *BackEnd) Send(streamID uint32, tag int32, format string, values ...any
 }
 
 // SendPacket emits a pre-built packet upstream, re-stamping its stream and
-// source identity is NOT performed: the caller controls the header.
+// source identity is NOT performed: the caller controls the header. With
+// batching enabled the packet may be queued rather than sent immediately;
+// a nil return means it was accepted and will be flushed by the size or
+// age policy (or retained across a parent failure on recoverable
+// networks), not necessarily that it is on the wire.
 func (be *BackEnd) SendPacket(p *packet.Packet) error {
-	if err := be.parentLink().Send(p); err != nil {
+	if be.eg == nil {
+		if err := be.parentLink().Send(p); err != nil {
+			return fmt.Errorf("core: back-end %d send: %w", be.rank, err)
+		}
+		return nil
+	}
+	be.egMu.Lock()
+	wasEmpty := len(be.eg.buf) == 0
+	err := be.eg.send(p)
+	kick := wasEmpty && len(be.eg.buf) > 0
+	retained := err != nil && be.eg.retain && !be.killed() && !be.nw.tearingDown()
+	be.egMu.Unlock()
+	if kick {
+		select {
+		case be.egKick <- struct{}{}:
+		default:
+		}
+	}
+	if err != nil && !retained {
 		return fmt.Errorf("core: back-end %d send: %w", be.rank, err)
 	}
+	// A flush that failed into a crashed parent but retained the batch is
+	// a success from the handler's perspective: the packets are queued
+	// for re-flush once recovery re-parents this back-end. An error
+	// during network teardown is surfaced — no adoption is coming.
 	return nil
+}
+
+// Flush forces the back-end's egress queue onto the wire, for handlers
+// that need bounded latency tighter than the age policy provides.
+func (be *BackEnd) Flush() error {
+	if be.eg == nil {
+		return nil
+	}
+	be.egMu.Lock()
+	defer be.egMu.Unlock()
+	return be.eg.flush(flushDrain)
+}
+
+// ageFlusher enforces the egress age bound: woken by the first enqueue,
+// it sleeps out the queue's deadline, flushes what is due, and goes back
+// to sleep once the queue empties.
+func (be *BackEnd) ageFlusher(stop <-chan struct{}) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-be.killCh:
+			return
+		case <-be.egKick:
+		}
+		for {
+			be.egMu.Lock()
+			d := be.eg.deadline()
+			be.egMu.Unlock()
+			if d.IsZero() {
+				break // queue drained; wait for the next kick
+			}
+			wait := time.Until(d)
+			if wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-stop:
+					timer.Stop()
+					return
+				case <-be.killCh:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+			}
+			be.egMu.Lock()
+			be.eg.pollAge(time.Now())
+			be.egMu.Unlock()
+		}
+	}
 }
 
 // run is the back-end's link loop: it launches the application handler,
@@ -114,6 +210,15 @@ func (be *BackEnd) run() {
 			}
 		}
 	}()
+	if be.eg != nil {
+		// Age flusher: the handler goroutine has no event loop, so this
+		// goroutine enforces the MaxDelay bound on queued packets. It
+		// sleeps until kicked by the first enqueue, then re-arms only
+		// while packets remain queued — an idle back-end costs nothing.
+		flushStop := make(chan struct{})
+		defer close(flushStop)
+		go be.ageFlusher(flushStop)
+	}
 
 loop:
 	for {
@@ -128,6 +233,14 @@ loop:
 					old := be.parentLink()
 					be.setParent(l)
 					transport.DropLink(old)
+					if be.eg != nil {
+						// Repoint the egress queue and re-flush anything
+						// retained across the dead parent: accepted
+						// packets survive the failure.
+						be.egMu.Lock()
+						be.eg.setLink(l)
+						be.egMu.Unlock()
+					}
 					continue
 				case <-be.nw.dying:
 				case <-be.killCh:
@@ -156,5 +269,12 @@ loop:
 	}
 	close(be.inbox)
 	<-handlerDone
+	// The handler has returned: flush whatever its last sends left queued
+	// before the link closes, so no packet is stranded at shutdown.
+	if be.eg != nil && !be.killed() {
+		be.egMu.Lock()
+		be.eg.drain()
+		be.egMu.Unlock()
+	}
 	_ = be.parentLink().Close()
 }

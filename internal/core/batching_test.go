@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eqclass"
+	"repro/internal/filter"
+)
+
+// TestShutdownFlushesEgress is the packet-stranded-in-queue regression
+// test: with a flush window far larger than the traffic and an age bound
+// longer than the test, the only thing that can deliver the packets is the
+// shutdown drain. Every accepted packet must reach the front-end.
+func TestShutdownFlushesEgress(t *testing.T) {
+	tree := mustTree(t, "kary:2^2")
+	const perBE = 3
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		Batch:    BatchPolicy{MaxBatch: 1024, MaxDelay: time.Hour},
+		OnBackEnd: func(be *BackEnd) error {
+			p, err := be.Recv()
+			if err != nil {
+				return nil
+			}
+			for i := 0; i < perBE; i++ {
+				if err := be.Send(p.StreamID, p.Tag, "%d", int64(be.Rank())*100+int64(i)); err != nil {
+					return err
+				}
+			}
+			for {
+				if _, err := be.Recv(); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nw.NewStream(StreamSpec{Synchronization: "nullsync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Give the back-ends a moment to enqueue, then shut down with the
+	// packets still sitting in egress queues.
+	time.Sleep(200 * time.Millisecond)
+	if err := nw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int{}
+	for {
+		p, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Int(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[v]++
+	}
+	leaves := tree.Leaves()
+	if want := len(leaves) * perBE; len(got) != want {
+		t.Errorf("front-end received %d distinct packets, want %d (stranded in egress?)", len(got), want)
+	}
+	for _, leaf := range leaves {
+		for i := 0; i < perBE; i++ {
+			v := int64(leaf)*100 + int64(i)
+			if got[v] != 1 {
+				t.Errorf("payload %d delivered %d times, want exactly once", v, got[v])
+			}
+		}
+	}
+}
+
+// TestKillWithPendingEgressNoLossNoDup is the batching × recovery chaos
+// test: a mid-level communication process is killed while its subtree's
+// back-ends hold accepted-but-unflushed packets in their egress queues.
+// Grandparent adoption must re-parent the orphans with those queues
+// intact: after recovery and shutdown every accepted packet arrives at the
+// front-end exactly once — none lost with the dead link, none duplicated
+// by the re-flush.
+func TestKillWithPendingEgressNoLossNoDup(t *testing.T) {
+	tree := mustTree(t, "kary:4^2")
+	const perBE = 5
+	var stID uint32
+	ready := make(chan struct{})
+	var enqueued sync.WaitGroup
+	enqueued.Add(len(tree.Leaves()))
+	nw, err := NewNetwork(Config{
+		Topology:    tree,
+		Recoverable: true,
+		// Window and age bound are both unreachable before the kill: all
+		// pre-kill traffic is pending egress when the crash hits.
+		Batch: BatchPolicy{MaxBatch: 1024, MaxDelay: time.Hour},
+		OnBackEnd: func(be *BackEnd) error {
+			<-ready
+			for i := 0; i < perBE; i++ {
+				if err := be.Send(stID, tagQuery, "%d", int64(be.Rank())*100+int64(i)); err != nil {
+					enqueued.Done()
+					return err
+				}
+			}
+			enqueued.Done()
+			for {
+				if _, err := be.Recv(); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nw.NewStream(StreamSpec{Synchronization: "nullsync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stID = st.ID()
+	close(ready)
+	enqueued.Wait() // every payload now sits in a back-end egress queue
+
+	victim := tree.InternalNodes()[0]
+	victimLeaves := len(tree.Children(victim))
+	if err := nw.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Adopt(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The adoption's reparent re-flushes the orphans' retained queues: the
+	// victim subtree's payloads must arrive now, before any shutdown drain.
+	got := map[int64]int{}
+	for i := 0; i < victimLeaves*perBE; i++ {
+		p, err := st.RecvTimeout(30 * time.Second)
+		if err != nil {
+			t.Fatalf("after %d of %d re-flushed packets: %v", i, victimLeaves*perBE, err)
+		}
+		v, err := p.Int(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[v]++
+	}
+	if err := nw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		p, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Int(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[v]++
+	}
+	for _, leaf := range tree.Leaves() {
+		for i := 0; i < perBE; i++ {
+			v := int64(leaf)*100 + int64(i)
+			if got[v] != 1 {
+				t.Errorf("payload %d delivered %d times, want exactly once (leaf %d)", v, got[v], leaf)
+			}
+		}
+	}
+}
+
+// soakClassSet is the equivalence-class report a given back-end sends in
+// the soak: a pair shared by every rank with the same residue (heavy
+// duplication for the suppressing filter to elide) plus a unique pair.
+func soakClassSet(r Rank) *eqclass.Set {
+	set := eqclass.NewSet()
+	set.Add(fmt.Sprintf("os-%d", r%4), int64(r%4))
+	set.Add(fmt.Sprintf("cpu-%d", r), int64(r))
+	return set
+}
+
+// soakResult captures one soak run's observable output: the ordered
+// per-round sums of each reduction stream and the equivalence-class set
+// accumulated at the front-end.
+type soakResult struct {
+	sums    map[int][]float64
+	classes map[string]map[int64]bool
+}
+
+// runSoak streams rounds of data over several concurrent streams — sum
+// reductions plus an eqclass stream — across the given overlay shape and
+// returns everything the front-end observed.
+func runSoak(t *testing.T, shape string, sumStreams, rounds int, batch BatchPolicy) soakResult {
+	t.Helper()
+	tree := mustTree(t, shape)
+	reg := filter.NewRegistry()
+	eqclass.Register(reg)
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		Registry: reg,
+		Batch:    batch,
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				if p.Tag == tagQuery {
+					// Reduction stream: one response per round, a value
+					// derived from rank and round.
+					r, err := p.Int(0)
+					if err != nil {
+						return err
+					}
+					v := float64(be.Rank())*1e-3 + float64(r)
+					if err := be.Send(p.StreamID, p.Tag, "%f", v); err != nil {
+						return err
+					}
+					continue
+				}
+				// Eqclass stream: one pair shared across many ranks (the
+				// suppression case — the tree forwards it once per level,
+				// not once per daemon) and one unique pair per rank.
+				set := soakClassSet(be.Rank())
+				rp, err := set.ToPacket(p.Tag, p.StreamID, be.Rank())
+				if err != nil {
+					return err
+				}
+				if err := be.SendPacket(rp); err != nil {
+					return err
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	res := soakResult{sums: map[int][]float64{}, classes: map[string]map[int64]bool{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < sumStreams; s++ {
+		st, err := nw.NewStream(StreamSpec{
+			Transformation:  "sum",
+			Synchronization: "waitforall",
+			RecvBuffer:      rounds + 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s int, st *Stream) {
+			defer wg.Done()
+			sums := make([]float64, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				if err := st.Multicast(tagQuery, "%d", int64(r)); err != nil {
+					t.Errorf("stream %d round %d multicast: %v", s, r, err)
+					return
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				p, err := st.RecvTimeout(60 * time.Second)
+				if err != nil {
+					t.Errorf("stream %d round %d recv: %v", s, r, err)
+					return
+				}
+				v, err := p.Float(0)
+				if err != nil {
+					t.Errorf("stream %d round %d: %v", s, r, err)
+					return
+				}
+				sums = append(sums, v)
+			}
+			mu.Lock()
+			res.sums[s] = sums
+			mu.Unlock()
+		}(s, st)
+	}
+
+	// The eqclass stream runs concurrently with the reductions.
+	eqSt, err := nw.NewStream(StreamSpec{
+		Transformation:  eqclass.FilterName,
+		Synchronization: "nullsync",
+		RecvBuffer:      4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The suppressing filter delivers every distinct (class, member) pair
+	// exactly once in total, in as many packets as timing dictates.
+	want := 0
+	{
+		expected := eqclass.NewSet()
+		for _, leaf := range tree.Leaves() {
+			expected.Merge(soakClassSet(leaf))
+		}
+		want = expected.Len()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := eqSt.Multicast(tagQuery+1, ""); err != nil {
+			t.Errorf("eqclass multicast: %v", err)
+			return
+		}
+		seen := 0
+		for seen < want {
+			p, err := eqSt.RecvTimeout(60 * time.Second)
+			if err != nil {
+				t.Errorf("eqclass recv after %d of %d pairs: %v", seen, want, err)
+				return
+			}
+			set, err := eqclass.FromPacket(p)
+			if err != nil {
+				t.Errorf("eqclass decode: %v", err)
+				return
+			}
+			mu.Lock()
+			for _, k := range set.Keys() {
+				for _, m := range set.Members(k) {
+					if res.classes[k] == nil {
+						res.classes[k] = map[int64]bool{}
+					}
+					if res.classes[k][m] {
+						t.Errorf("eqclass pair (%s,%d) delivered twice", k, m)
+					}
+					res.classes[k][m] = true
+					seen++
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	return res
+}
+
+// TestSoakBatchingEquivalence is the scale/soak test: a kary:16^2 overlay
+// (and kary:8^3 when not -short) streams ~10k packets across concurrent
+// reduction streams plus a suppressing eqclass stream, with batching off
+// and with batching on. The two runs must produce eqclass-identical
+// results: identical per-round reduction sequences and identical
+// equivalence-class sets.
+func TestSoakBatchingEquivalence(t *testing.T) {
+	shapes := []string{"kary:16^2"}
+	if !testing.Short() {
+		shapes = append(shapes, "kary:8^3")
+	}
+	for _, shape := range shapes {
+		t.Run(shape, func(t *testing.T) {
+			leaves := len(mustTree(t, shape).Leaves())
+			const sumStreams = 4
+			rounds := (10000 + sumStreams*leaves - 1) / (sumStreams * leaves)
+			if rounds < 2 {
+				rounds = 2
+			}
+			t.Logf("%s: %d leaves × %d streams × %d rounds = %d packets (+%d eqclass)",
+				shape, leaves, sumStreams, rounds, leaves*sumStreams*rounds, leaves)
+			off := runSoak(t, shape, sumStreams, rounds, BatchPolicy{})
+			on := runSoak(t, shape, sumStreams, rounds, BatchPolicy{
+				MaxBatch: 32, MaxDelay: 2 * time.Millisecond, Adaptive: true,
+			})
+			if t.Failed() {
+				return
+			}
+			for s := 0; s < sumStreams; s++ {
+				offS, onS := off.sums[s], on.sums[s]
+				if len(offS) != len(onS) {
+					t.Fatalf("stream %d: %d deliveries off vs %d on", s, len(offS), len(onS))
+				}
+				for r := range offS {
+					if offS[r] != onS[r] {
+						t.Errorf("stream %d round %d: sum %v off vs %v on", s, r, offS[r], onS[r])
+					}
+				}
+			}
+			if len(off.classes) != len(on.classes) {
+				t.Fatalf("eqclass: %d classes off vs %d on", len(off.classes), len(on.classes))
+			}
+			for k, offMembers := range off.classes {
+				onMembers := on.classes[k]
+				if len(offMembers) != len(onMembers) {
+					t.Errorf("class %s: %d members off vs %d on", k, len(offMembers), len(onMembers))
+					continue
+				}
+				for m := range offMembers {
+					if !onMembers[m] {
+						t.Errorf("class %s member %d present off, missing on", k, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchingMetrics: an enabled policy actually batches — frames carry
+// multiple packets on average and the flush-cause counters move.
+func TestBatchingMetrics(t *testing.T) {
+	tree := mustTree(t, "kary:4^2")
+	const rounds = 200
+	nw, err := NewNetwork(Config{
+		Topology: tree,
+		Batch:    BatchPolicy{MaxBatch: 16, MaxDelay: 2 * time.Millisecond},
+		OnBackEnd: func(be *BackEnd) error {
+			p, err := be.Recv()
+			if err != nil {
+				return nil
+			}
+			for i := 0; i < rounds; i++ {
+				if err := be.Send(p.StreamID, p.Tag, "%d", int64(i)); err != nil {
+					return err
+				}
+			}
+			for {
+				if _, err := be.Recv(); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall", RecvBuffer: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if _, err := st.RecvTimeout(30 * time.Second); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if err := nw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	m := nw.Metrics()
+	queued, frames := m.PacketsQueued.Load(), m.FramesSent.Load()
+	if queued == 0 || frames == 0 {
+		t.Fatalf("no batching observed: queued=%d frames=%d", queued, frames)
+	}
+	if avg := float64(queued) / float64(frames); avg < 2 {
+		t.Errorf("average frame size %.2f, want >= 2 under sustained load", avg)
+	}
+	if m.FlushSize.Load() == 0 {
+		t.Error("FlushSize never incremented under sustained load")
+	}
+	if m.EgressHighWater.Load() < 2 {
+		t.Errorf("EgressHighWater = %d, want >= 2", m.EgressHighWater.Load())
+	}
+}

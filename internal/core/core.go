@@ -75,6 +75,10 @@ type Config struct {
 	// OnBackEnd runs application code at each back-end in its own
 	// goroutine. May be nil for networks driven purely by multicast tests.
 	OnBackEnd func(be *BackEnd) error
+	// Batch configures per-link egress batching (see BatchPolicy). The
+	// zero value disables batching: every send is one link operation, the
+	// pre-batching behavior.
+	Batch BatchPolicy
 	// Recoverable makes subtrees orphaned by a crashed parent survive and
 	// await grandparent adoption (Adopt / internal/recovery) instead of
 	// abandoning ship. Without it a parent crash tears the subtree down,
@@ -92,6 +96,16 @@ type Metrics struct {
 	PacketsDown  atomic.Int64 // downstream data packets entering nodes
 	Batches      atomic.Int64 // synchronizer batches transformed
 	FilterErrors atomic.Int64 // transformation errors (packets dropped)
+
+	// Egress batching observability.
+	PacketsQueued   atomic.Int64 // packets accepted by egress queues
+	FramesSent      atomic.Int64 // frames flushed to links by egress queues
+	FlushSize       atomic.Int64 // flushes triggered by a full window
+	FlushAge        atomic.Int64 // flushes triggered by the age bound
+	FlushControl    atomic.Int64 // flushes forced by control packets
+	FlushDrain      atomic.Int64 // flushes at shutdown/reparent drains
+	EgressHighWater atomic.Int64 // deepest egress queue observed (packets)
+	EgressDrops     atomic.Int64 // packets dropped at a dead or fenced link
 
 	// Failure detection and recovery observability.
 	HeartbeatsSent       atomic.Int64 // liveness beacons emitted
@@ -150,6 +164,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if reg == nil {
 		reg = filter.NewRegistry()
 	}
+	cfg.Batch = cfg.Batch.normalized()
 	var eps []*transport.Endpoint
 	switch cfg.Transport {
 	case ChanTransport:

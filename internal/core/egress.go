@@ -1,0 +1,301 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// BatchPolicy governs per-link egress batching: outbound packets queue in
+// a per-link egress buffer and are flushed as one multi-packet frame when
+// the buffer reaches the flush window (size), when the oldest queued
+// packet has waited MaxDelay (age), when a control packet must not be
+// delayed (control), or when the owner drains at shutdown/reparent
+// (drain). Batching amortizes per-message link costs — a channel transfer
+// or a TCP write+flush — over the whole frame, which is what keeps
+// per-packet overhead from dominating tree throughput.
+type BatchPolicy struct {
+	// MaxBatch is the flush window in packets; a value <= 1 disables
+	// batching and every Send goes straight to the link.
+	MaxBatch int
+	// MaxDelay bounds how long a packet may sit in an egress queue before
+	// an age flush. Non-positive values get DefaultBatchDelay when
+	// batching is enabled, so a queued packet can never strand.
+	MaxDelay time.Duration
+	// Adaptive enables the congestion-adaptive window: the effective flush
+	// window doubles (up to MaxBatch) every time traffic fills it before
+	// the age deadline, and halves after an age flush, so light traffic
+	// keeps near-per-packet latency while heavy traffic converges to
+	// full-window batching — an adaptive backpressure window.
+	Adaptive bool
+}
+
+// DefaultBatchDelay is the age bound applied when a policy enables
+// batching without choosing one.
+const DefaultBatchDelay = 2 * time.Millisecond
+
+// DefaultBatchPolicy is a good general-purpose batching configuration.
+func DefaultBatchPolicy() BatchPolicy {
+	return BatchPolicy{MaxBatch: 32, MaxDelay: DefaultBatchDelay}
+}
+
+// enabled reports whether the policy actually batches.
+func (p BatchPolicy) enabled() bool { return p.MaxBatch > 1 }
+
+// normalized fills defaults so an enabled policy always has an age bound.
+func (p BatchPolicy) normalized() BatchPolicy {
+	if p.enabled() && p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultBatchDelay
+	}
+	return p
+}
+
+// maxRetained bounds an egress queue retained across a dead parent link
+// (an orphan waiting for adoption): beyond it the oldest packets are
+// dropped, mirroring the bounded kernel-buffer loss a real crashed link
+// would impose.
+const maxRetained = 4096
+
+// flush causes, for the metrics counters.
+const (
+	flushSize = iota
+	flushAge
+	flushControl
+	flushDrain
+)
+
+// egressQueue batches outbound packets for one link. It is not safe for
+// concurrent use: each queue is owned by a single goroutine (a node's
+// event loop, or a back-end under its own lock).
+type egressQueue struct {
+	link transport.Link
+	pol  BatchPolicy
+	m    *Metrics
+	// retain keeps the buffer on a failed flush so the packets survive a
+	// dead parent link until recovery re-parents the owner (recoverable
+	// networks); without it a failed flush drops the buffer, the
+	// pre-batching loss behavior.
+	retain bool
+
+	buf    []*packet.Packet
+	bytes  int // Σ encoded payload bytes queued, for the frame byte bound
+	oldest time.Time
+	window int // adaptive effective flush window
+	// localHW mirrors the deepest depth this queue has reported to the
+	// global high-water gauge, so the hot path pays an atomic only when
+	// it sets a new per-queue record.
+	localHW int
+}
+
+// newEgressQueue wraps a link with the given (already normalized) policy.
+func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool) *egressQueue {
+	q := &egressQueue{link: l, pol: pol, m: m, retain: retain, window: pol.MaxBatch}
+	if pol.Adaptive {
+		q.window = 2
+		if q.window > pol.MaxBatch {
+			q.window = pol.MaxBatch
+		}
+	}
+	return q
+}
+
+// send enqueues p, flushing once the effective window fills or the batch
+// would outgrow the wire's frame byte bound. With batching disabled it
+// forwards directly to the link.
+func (q *egressQueue) send(p *packet.Packet) error {
+	if !q.pol.enabled() {
+		return q.link.Send(p)
+	}
+	sz := p.EncodedSize()
+	if len(q.buf) > 0 && q.bytes+sz > packet.MaxWireSize {
+		// Individually legal packets must never combine into a frame the
+		// receiver would reject (bytes tracks per-packet framing overhead
+		// too, keeping the body within packet.MaxFrameBody): flush what
+		// is queued, then batch on.
+		_ = q.flush(flushSize)
+	}
+	if len(q.buf) == 0 {
+		q.oldest = time.Now()
+	}
+	q.buf = append(q.buf, p)
+	q.bytes += sz + 4
+	q.m.PacketsQueued.Add(1)
+	if len(q.buf) > q.localHW {
+		q.localHW = len(q.buf)
+		q.noteDepth(q.localHW)
+	}
+	if len(q.buf) >= q.window {
+		return q.flush(flushSize)
+	}
+	return nil
+}
+
+// sendNow enqueues p and flushes immediately. Control packets use it: they
+// keep their FIFO position behind already queued data but never wait out a
+// batching window.
+func (q *egressQueue) sendNow(p *packet.Packet) error {
+	if !q.pol.enabled() {
+		return q.link.Send(p)
+	}
+	q.buf = append(q.buf, p)
+	q.bytes += p.EncodedSize() + 4
+	q.m.PacketsQueued.Add(1)
+	return q.flush(flushControl)
+}
+
+// flush sends the buffered batch, split into as many frames as the wire's
+// byte bound demands (one in the common case). On failure the unsent
+// remainder is retained (recoverable owners) or dropped, and the error is
+// returned.
+func (q *egressQueue) flush(cause int) error {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	buf, total := q.buf, q.bytes
+	q.buf = nil
+	q.bytes = 0
+	q.adapt(cause)
+	unsent, frames, err := q.sendFrames(buf, total)
+	if err != nil {
+		if q.retain {
+			// The link died under us: keep the unsent remainder (bounded)
+			// so a reparent can re-flush it to the new parent.
+			if n := len(unsent) - maxRetained; n > 0 {
+				q.m.EgressDrops.Add(int64(n))
+				unsent = unsent[n:]
+			}
+			q.buf = append(unsent, q.buf...)
+			for _, r := range q.buf {
+				q.bytes += r.EncodedSize() + 4
+			}
+			// Restart the age clock so retries back off by MaxDelay
+			// instead of hot-looping on an already-expired deadline.
+			q.oldest = time.Now()
+		} else {
+			q.m.EgressDrops.Add(int64(len(unsent)))
+		}
+	}
+	if frames > 0 {
+		q.m.FramesSent.Add(frames)
+		switch cause {
+		case flushSize:
+			q.m.FlushSize.Add(1)
+		case flushAge:
+			q.m.FlushAge.Add(1)
+		case flushControl:
+			q.m.FlushControl.Add(1)
+		case flushDrain:
+			q.m.FlushDrain.Add(1)
+		}
+	}
+	return err
+}
+
+// sendFrames moves buf onto the link, splitting it whenever the combined
+// encoding would exceed the wire's frame byte bound — a retained buffer
+// re-flushed after reparenting, or control flushed behind large queued
+// data, can outgrow what a single frame may carry. The common case (total
+// within bound, maintained by send) is a single SendBatch. On error the
+// not-yet-sent packets are returned; already-sent frames are delivered, so
+// nothing is duplicated on retry.
+func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*packet.Packet, frames int64, err error) {
+	if total <= packet.MaxWireSize+4 {
+		if err := transport.SendBatch(q.link, buf); err != nil {
+			return buf, 0, err
+		}
+		return nil, 1, nil
+	}
+	start, bytes := 0, 0
+	for i, p := range buf {
+		sz := p.EncodedSize() + 4
+		if i > start && bytes+sz > packet.MaxWireSize+4 {
+			if err := transport.SendBatch(q.link, buf[start:i]); err != nil {
+				return buf[start:], frames, err
+			}
+			frames++
+			start, bytes = i, 0
+		}
+		bytes += sz
+	}
+	if err := transport.SendBatch(q.link, buf[start:]); err != nil {
+		return buf[start:], frames, err
+	}
+	return nil, frames + 1, nil
+}
+
+// adapt moves the effective window toward the observed traffic level.
+func (q *egressQueue) adapt(cause int) {
+	if !q.pol.Adaptive {
+		return
+	}
+	switch cause {
+	case flushSize:
+		if q.window < q.pol.MaxBatch {
+			q.window *= 2
+			if q.window > q.pol.MaxBatch {
+				q.window = q.pol.MaxBatch
+			}
+		}
+	case flushAge:
+		if q.window > 1 {
+			q.window /= 2
+		}
+	}
+}
+
+// deadline returns when the oldest queued packet must be age-flushed, or
+// the zero time when the queue is empty.
+func (q *egressQueue) deadline() time.Time {
+	if q == nil || len(q.buf) == 0 {
+		return time.Time{}
+	}
+	return q.oldest.Add(q.pol.MaxDelay)
+}
+
+// pollAge flushes the queue if its age deadline has passed.
+func (q *egressQueue) pollAge(now time.Time) {
+	if q == nil || len(q.buf) == 0 || now.Before(q.oldest.Add(q.pol.MaxDelay)) {
+		return
+	}
+	_ = q.flush(flushAge)
+}
+
+// drain force-flushes everything queued (shutdown, reparent).
+func (q *egressQueue) drain() {
+	if q == nil {
+		return
+	}
+	_ = q.flush(flushDrain)
+}
+
+// setLink repoints the queue at a replacement link (recovery reparenting)
+// and re-flushes anything retained across the old link's death.
+func (q *egressQueue) setLink(l transport.Link) {
+	q.link = l
+	if len(q.buf) > 0 {
+		q.oldest = time.Now()
+		_ = q.flush(flushDrain)
+	}
+}
+
+// clear drops everything queued (a fenced-off dead child slot).
+func (q *egressQueue) clear() {
+	if q == nil {
+		return
+	}
+	if len(q.buf) > 0 {
+		q.m.EgressDrops.Add(int64(len(q.buf)))
+		q.buf = nil
+	}
+}
+
+// noteDepth maintains the high-water depth gauge.
+func (q *egressQueue) noteDepth(d int) {
+	for {
+		cur := q.m.EgressHighWater.Load()
+		if int64(d) <= cur || q.m.EgressHighWater.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}

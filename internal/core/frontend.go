@@ -126,8 +126,26 @@ func (fe *feState) run() {
 		go readLink(c, i, inbox)
 	}
 	live := len(fe.ep.Children)
+	fast := 0
 loop:
 	for {
+		// Fast path: drain ready frames without the deadline scan and
+		// timer allocation; the iteration cap bounds how long a busy inbox
+		// can defer timers and adoption commands.
+		if live > 0 && fast < 1024 {
+			select {
+			case m := <-inbox:
+				fast++
+				if m.ps == nil {
+					live--
+					continue
+				}
+				fe.handleUp(m.child, m.ps)
+				continue
+			default:
+			}
+		}
+		fast = 0
 		if live <= 0 {
 			// On a recoverable network all children being gone may just
 			// mean every root child crashed at once: stay up, the
@@ -159,11 +177,11 @@ loop:
 			if timer != nil {
 				timer.Stop()
 			}
-			if m.p == nil {
+			if m.ps == nil {
 				live--
 				continue
 			}
-			fe.handleUp(m.child, m.p)
+			fe.handleUp(m.child, m.ps)
 		case c := <-fe.cmdCh:
 			if timer != nil {
 				timer.Stop()
@@ -202,22 +220,33 @@ func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
 	return len(c.links)
 }
 
-func (fe *feState) handleUp(child int, p *packet.Packet) {
-	if p.Tag == packet.TagControl {
-		if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
-			if origin, err := parseHeartbeat(p); err == nil {
-				fe.nw.noteHeartbeat(origin)
+// handleUp processes one upstream frame, feeding maximal same-stream runs
+// of data packets to the stream's synchronizer in one call; control
+// packets break runs so per-link FIFO semantics are preserved.
+func (fe *feState) handleUp(child int, ps []*packet.Packet) {
+	for i := 0; i < len(ps); {
+		p := ps[i]
+		if p.Tag == packet.TagControl {
+			if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
+				if origin, err := parseHeartbeat(p); err == nil {
+					fe.nw.noteHeartbeat(origin)
+				}
 			}
+			i++
+			continue
 		}
-		return
+		j := nextRun(ps, i)
+		run := ps[i:j]
+		i = j
+		fe.nw.metrics.PacketsUp.Add(int64(len(run)))
+		ss := fe.state(p.StreamID)
+		if ss == nil {
+			// Unknown (e.g. just-closed) stream: drop; there is no
+			// receiver.
+			continue
+		}
+		fe.flushBatches(ss, ss.addBatch(child, run))
 	}
-	fe.nw.metrics.PacketsUp.Add(1)
-	ss := fe.state(p.StreamID)
-	if ss == nil {
-		// Unknown (e.g. just-closed) stream: drop; there is no receiver.
-		return
-	}
-	fe.flushBatches(ss, ss.add(child, p))
 }
 
 func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
@@ -238,7 +267,7 @@ func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 			continue
 		}
 		for _, q := range out {
-			st.deliver(q.WithStream(ss.id).WithSrc(0))
+			st.deliver(q.WithStreamSrc(ss.id, 0))
 		}
 	}
 }

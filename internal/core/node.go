@@ -8,12 +8,12 @@ import (
 	"repro/internal/transport"
 )
 
-// inMsg is one unit of work for a node's event loop: a packet arriving on
-// the parent link (child == -1) or on the child link with the given slot.
-// A nil packet signals that the link reached EOF.
+// inMsg is one unit of work for a node's event loop: a frame of packets
+// arriving on the parent link (child == -1) or on the child link with the
+// given slot. A nil slice signals that the link reached EOF.
 type inMsg struct {
 	child int
-	p     *packet.Packet
+	ps    []*packet.Packet
 }
 
 // attachMsg delivers a dynamically created child link together with the
@@ -36,6 +36,12 @@ type node struct {
 	streams      map[uint32]*streamState
 	shuttingDown bool
 	liveChildren int
+
+	// Egress queues, one per link, owned by the event loop. parentOut
+	// retains its buffer across a dead parent link on recoverable
+	// networks so the packets survive until reparenting.
+	parentOut *egressQueue
+	childOut  []*egressQueue
 
 	// orphaned is set when the parent link dies without a shutdown
 	// announcement on a recoverable network; the node then keeps serving
@@ -75,6 +81,15 @@ func (n *node) run() {
 	n.streams = map[uint32]*streamState{}
 	inbox := make(chan inMsg, 4*(len(n.ep.Children)+1))
 
+	// Egress queues wrap every link; with batching disabled they forward
+	// directly, so the un-batched hot path is unchanged.
+	pol := n.nw.cfg.Batch
+	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable())
+	n.childOut = make([]*egressQueue, len(n.ep.Children))
+	for i, c := range n.ep.Children {
+		n.childOut[i] = newEgressQueue(c, pol, &n.nw.metrics, false)
+	}
+
 	// Reader goroutines: one per link, feeding the event loop.
 	go readLink(n.ep.Parent, -1, inbox)
 	for i, c := range n.ep.Children {
@@ -82,13 +97,33 @@ func (n *node) run() {
 	}
 	n.liveChildren = len(n.ep.Children)
 
+	// fast counts consecutive fast-path iterations; the periodic forced
+	// slow-path pass bounds how long a busy inbox can defer time-based
+	// work (egress age flushes, synchronizer windows, recovery commands).
+	fast := 0
 	for {
+		// Fast path: while messages are ready, handle them without the
+		// deadline scan and timer allocation of the full select.
+		if fast < 1024 {
+			select {
+			case m := <-inbox:
+				fast++
+				if done := n.handle(m); done {
+					return
+				}
+				continue
+			case <-n.killCh:
+				return // crashed: no drain, links already dropped by Kill
+			default:
+			}
+		}
+		fast = 0
 		var timer *time.Timer
 		var timerC <-chan time.Time
 		if d := n.earliestDeadline(); !d.IsZero() {
 			wait := time.Until(d)
 			if wait <= 0 {
-				n.pollStreams()
+				n.poll()
 				continue
 			}
 			timer = time.NewTimer(wait)
@@ -130,7 +165,7 @@ func (n *node) run() {
 			n.finish()
 			return
 		case <-timerC:
-			n.pollStreams()
+			n.poll()
 		}
 	}
 }
@@ -159,7 +194,10 @@ func (n *node) parentLink() transport.Link {
 }
 
 // installChild places a link at the given child slot, growing the slice
-// with nil placeholders if slots were assigned out of order.
+// with nil placeholders if slots were assigned out of order. The slot's
+// egress queue follows the link: a replacement link gets a fresh queue and
+// a fenced-off slot (nil link) drops whatever was still queued to the dead
+// child.
 func (n *node) installChild(slot int, l transport.Link) {
 	n.epMu.Lock()
 	for len(n.ep.Children) <= slot {
@@ -167,6 +205,15 @@ func (n *node) installChild(slot int, l transport.Link) {
 	}
 	n.ep.Children[slot] = l
 	n.epMu.Unlock()
+	for len(n.childOut) <= slot {
+		n.childOut = append(n.childOut, nil)
+	}
+	if l == nil {
+		n.childOut[slot].clear()
+		n.childOut[slot] = nil
+		return
+	}
+	n.childOut[slot] = newEgressQueue(l, n.nw.cfg.Batch, &n.nw.metrics, false)
 }
 
 // addChild installs a dynamically attached back-end's link as a new child
@@ -190,33 +237,48 @@ func (n *node) addChild(a attachMsg, inbox chan inMsg) {
 	go readLink(a.link, a.slot, inbox)
 }
 
-// readLink pumps packets from a link into the inbox, sending a nil-packet
-// sentinel at EOF. A nil link (the root's parent) sends nothing.
+// readLink pumps frames from a link into the inbox, sending a nil-slice
+// sentinel at EOF. A nil link (the root's parent) sends nothing. Reading
+// whole frames means one inbox message — and one event-loop wakeup — per
+// link flush instead of per packet.
 func readLink(l transport.Link, slot int, inbox chan<- inMsg) {
 	if l == nil {
 		return
 	}
 	for {
-		p, err := l.Recv()
+		ps, err := transport.RecvBatch(l)
 		if err != nil {
-			inbox <- inMsg{child: slot, p: nil}
+			inbox <- inMsg{child: slot, ps: nil}
 			return
 		}
-		inbox <- inMsg{child: slot, p: p}
+		inbox <- inMsg{child: slot, ps: ps}
 	}
+}
+
+// nextRun returns j such that ps[i:j] is a maximal run of data packets on
+// ps[i]'s stream: control packets and stream changes end a run, so
+// feeding runs to the synchronizer whole preserves exact per-link FIFO
+// semantics. Both the node and the front-end ingress split frames with
+// this single rule.
+func nextRun(ps []*packet.Packet, i int) int {
+	j := i + 1
+	for j < len(ps) && ps[j].Tag != packet.TagControl && ps[j].StreamID == ps[i].StreamID {
+		j++
+	}
+	return j
 }
 
 // handle processes one inbox message, returning true when the node should
 // exit.
 func (n *node) handle(m inMsg) bool {
 	if m.child == -1 {
-		return n.handleFromParent(m.p)
+		return n.handleFromParent(m.ps)
 	}
-	return n.handleFromChild(m.child, m.p)
+	return n.handleFromChild(m.child, m.ps)
 }
 
-func (n *node) handleFromParent(p *packet.Packet) bool {
-	if p == nil {
+func (n *node) handleFromParent(ps []*packet.Packet) bool {
+	if ps == nil {
 		n.parentEOFSeen++
 		if n.parentEOFSeen <= n.parentGen {
 			return false // EOF of a link already replaced by reparenting
@@ -231,45 +293,64 @@ func (n *node) handleFromParent(p *packet.Packet) bool {
 		n.closeAll()
 		return true
 	}
-	if p.Tag == packet.TagControl {
-		return n.handleControl(p)
-	}
-	// Downstream data: multicast toward member back-ends, applying the
-	// stream's downstream filter (if any) at this level first.
-	n.nw.metrics.PacketsDown.Add(1)
-	if ss, ok := n.streams[p.StreamID]; ok {
-		outs := []*packet.Packet{p}
-		if ss.downTform != nil {
-			transformed, err := ss.downTform.Transform([]*packet.Packet{p})
-			if err != nil {
-				n.nw.metrics.FilterErrors.Add(1)
-				return false
+	for _, p := range ps {
+		if p.Tag == packet.TagControl {
+			if done := n.handleControl(p); done {
+				return true
 			}
-			outs = transformed
+			continue
 		}
-		for _, q := range outs {
-			q = q.WithStream(ss.id)
-			n.sendDownstream(ss, q)
+		// Downstream data: multicast toward member back-ends, applying the
+		// stream's downstream filter (if any) at this level first.
+		n.nw.metrics.PacketsDown.Add(1)
+		if ss, ok := n.streams[p.StreamID]; ok {
+			outs := []*packet.Packet{p}
+			if ss.downTform != nil {
+				transformed, err := ss.downTform.Transform([]*packet.Packet{p})
+				if err != nil {
+					n.nw.metrics.FilterErrors.Add(1)
+					continue
+				}
+				outs = transformed
+			}
+			for _, q := range outs {
+				q = q.WithStream(ss.id)
+				n.sendDownstream(ss, q)
+			}
+			continue
 		}
-		return false
-	}
-	// Unknown stream: flood (control may still be propagating on another
-	// path in reconfiguration scenarios; flooding is always safe).
-	for _, l := range n.ep.Children {
-		if l != nil {
-			_ = l.Send(p)
+		// Unknown stream: flood (control may still be propagating on
+		// another path in reconfiguration scenarios; flooding is always
+		// safe).
+		for _, q := range n.childOut {
+			if q != nil {
+				_ = q.send(p)
+			}
 		}
 	}
 	return false
 }
 
-// sendDownstream fans a packet out to the stream's participating children.
+// sendDownstream fans a packet out to the stream's participating children
+// through their egress queues.
 func (n *node) sendDownstream(ss *streamState, p *packet.Packet) {
-	for i, l := range n.ep.Children {
-		if l == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
+	for i, q := range n.childOut {
+		if q == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
 			continue
 		}
-		_ = l.Send(p)
+		_ = q.send(p)
+	}
+}
+
+// sendDownstreamNow fans a control packet out to the stream's
+// participating children, flushing each queue so control never waits out a
+// batching window (it still keeps its FIFO position behind queued data).
+func (n *node) sendDownstreamNow(ss *streamState, p *packet.Packet) {
+	for i, q := range n.childOut {
+		if q == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
+			continue
+		}
+		_ = q.sendNow(p)
 	}
 }
 
@@ -297,7 +378,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			return false
 		}
 		n.streams[id] = ss
-		n.sendDownstream(ss, p)
+		n.sendDownstreamNow(ss, p)
 	case opCloseStream:
 		id, err := parseCloseStream(p)
 		if err != nil {
@@ -308,13 +389,13 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			// the stream, so time-window policies do not lose data.
 			n.flushBatches(ss, ss.drain())
 			delete(n.streams, id)
-			n.sendDownstream(ss, p)
+			n.sendDownstreamNow(ss, p)
 		}
 	case opShutdown:
 		n.shuttingDown = true
-		for _, l := range n.ep.Children {
-			if l != nil {
-				_ = l.Send(p)
+		for _, q := range n.childOut {
+			if q != nil {
+				_ = q.sendNow(p)
 			}
 		}
 		if n.liveChildren == 0 {
@@ -325,8 +406,8 @@ func (n *node) handleControl(p *packet.Packet) bool {
 	return false
 }
 
-func (n *node) handleFromChild(child int, p *packet.Packet) bool {
-	if p == nil {
+func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
+	if ps == nil {
 		n.liveChildren--
 		if n.shuttingDown && n.liveChildren == 0 {
 			n.finish()
@@ -334,23 +415,39 @@ func (n *node) handleFromChild(child int, p *packet.Packet) bool {
 		}
 		return false
 	}
-	if p.Tag == packet.TagControl {
-		// Upstream control (heartbeats today) relays toward the front-end.
-		if parent := n.ep.Parent; parent != nil {
-			_ = parent.Send(p)
+	// Walk the frame in arrival order, feeding maximal same-stream runs of
+	// data packets to the synchronizer in one call. Control packets and
+	// stream changes break runs, so per-link FIFO semantics are exactly
+	// those of packet-at-a-time processing.
+	for i := 0; i < len(ps); {
+		p := ps[i]
+		if p.Tag == packet.TagControl {
+			// Upstream control (heartbeats today) relays toward the
+			// front-end with flush-through: a beacon must never wait out a
+			// batching window, or detection latency would compound per
+			// level. An orphan drops the relay (the dead parent link
+			// would have dropped it anyway) so stale beacons cannot
+			// displace retained data packets from the egress buffer.
+			if !n.orphaned {
+				_ = n.parentOut.sendNow(p)
+			}
+			i++
+			continue
 		}
-		return false
-	}
-	n.nw.metrics.PacketsUp.Add(1)
-	ss, ok := n.streams[p.StreamID]
-	if !ok {
-		// Stream unknown here (e.g. closed): pass through unfiltered.
-		if parent := n.ep.Parent; parent != nil {
-			_ = parent.Send(p)
+		j := nextRun(ps, i)
+		run := ps[i:j]
+		i = j
+		n.nw.metrics.PacketsUp.Add(int64(len(run)))
+		ss, ok := n.streams[p.StreamID]
+		if !ok {
+			// Stream unknown here (e.g. closed): pass through unfiltered.
+			for _, q := range run {
+				_ = n.parentOut.send(q)
+			}
+			continue
 		}
-		return false
+		n.flushBatches(ss, ss.addBatch(child, run))
 	}
-	n.flushBatches(ss, ss.add(child, p))
 	return false
 }
 
@@ -367,37 +464,53 @@ func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 			continue
 		}
 		for _, q := range out {
-			q = q.WithStream(ss.id).WithSrc(n.rank)
-			if parent := n.ep.Parent; parent != nil {
-				_ = parent.Send(q)
-			}
+			_ = n.parentOut.send(q.WithStreamSrc(ss.id, n.rank))
 		}
 	}
 }
 
-func (n *node) pollStreams() {
+// poll releases everything the passage of time owes: synchronizer windows
+// and egress age flushes.
+func (n *node) poll() {
 	now := time.Now()
 	for _, ss := range n.streams {
 		n.flushBatches(ss, ss.poll(now))
+	}
+	n.parentOut.pollAge(now)
+	for _, q := range n.childOut {
+		q.pollAge(now)
 	}
 }
 
 func (n *node) earliestDeadline() time.Time {
 	var d time.Time
-	for _, ss := range n.streams {
-		if dd := ss.deadline(); !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
+	min := func(dd time.Time) {
+		if !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
 			d = dd
 		}
+	}
+	for _, ss := range n.streams {
+		min(ss.deadline())
+	}
+	min(n.parentOut.deadline())
+	for _, q := range n.childOut {
+		min(q.deadline())
 	}
 	return d
 }
 
-// finish drains every stream upward and closes the node's links. Called
-// once all children have closed during shutdown, so the released batches
-// are the final data of the run.
+// finish drains every stream upward, flushes every egress queue, and
+// closes the node's links. Called once all children have closed during
+// shutdown, so the released batches are the final data of the run; the
+// egress drain guarantees no packet is stranded in a queue when the links
+// close.
 func (n *node) finish() {
 	for _, ss := range n.streams {
 		n.flushBatches(ss, ss.drain())
+	}
+	n.parentOut.drain()
+	for _, q := range n.childOut {
+		q.drain()
 	}
 	n.closeAll()
 }

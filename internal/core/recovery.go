@@ -117,6 +117,10 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		transport.DropLink(old) // usually already dead; fences false positives
 		n.parentGen++
 		n.orphaned = false
+		// Repoint the upstream egress queue, re-flushing any packets it
+		// retained while the old parent was dead: accepted-but-unflushed
+		// data survives the failure instead of being lost with the link.
+		n.parentOut.setLink(cmd.link)
 		go readLink(cmd.link, -1, inbox)
 		cmd.reply <- struct{}{}
 	}
@@ -249,6 +253,16 @@ func absorbComposed(reg *filter.Registry, ss *streamState, composed map[uint32][
 // recoverable reports whether orphaned subtrees should survive a parent
 // crash and await adoption (rather than abandoning ship).
 func (nw *Network) recoverable() bool { return nw.cfg.Recoverable }
+
+// tearingDown reports whether network teardown has begun.
+func (nw *Network) tearingDown() bool {
+	select {
+	case <-nw.dying:
+		return true
+	default:
+		return false
+	}
+}
 
 // Recoverable reports whether the network was configured for live recovery.
 func (nw *Network) Recoverable() bool { return nw.cfg.Recoverable }

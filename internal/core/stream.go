@@ -144,7 +144,9 @@ func (s *Stream) Members() []Rank { return s.members }
 
 // Multicast sends a packet downstream to every member back-end. The packet
 // fans out along the tree, so the front-end performs only fan-out(root)
-// sends regardless of member count.
+// sends regardless of member count. The values are retained by the packet
+// (see packet.New): a caller expanding a long-lived []any with ... must
+// not mutate it after.
 func (s *Stream) Multicast(tag int32, format string, values ...any) error {
 	p, err := packet.New(tag, s.id, 0, format, values...)
 	if err != nil {

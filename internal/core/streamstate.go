@@ -188,6 +188,16 @@ func (ss *streamState) add(childIdx int, p *packet.Packet) [][]*packet.Packet {
 	return ss.sync.Add(slot, p)
 }
 
+// addBatch feeds a same-stream run of packets from child link slot
+// childIdx through the synchronizer in one call.
+func (ss *streamState) addBatch(childIdx int, ps []*packet.Packet) [][]*packet.Packet {
+	slot := -1
+	if childIdx >= 0 && childIdx < len(ss.upSlot) {
+		slot = ss.upSlot[childIdx]
+	}
+	return filter.AddBatch(ss.sync, slot, ps)
+}
+
 // poll releases time-triggered batches.
 func (ss *streamState) poll(now time.Time) [][]*packet.Packet {
 	return ss.sync.Poll(now)

@@ -13,6 +13,43 @@ type ChildAware interface {
 	SetNumChildren(n int)
 }
 
+// BatchAdder is implemented by synchronizers with a native multi-packet
+// ingest path: AddBatch offers a whole link frame's worth of packets (all
+// from the same child slot, in arrival order) in one call, equivalent to —
+// but cheaper than — calling Add per packet. All built-in synchronizers
+// implement it; the AddBatch helper falls back to per-packet Add for
+// custom synchronizers that do not.
+type BatchAdder interface {
+	AddBatch(child int, ps []*packet.Packet) [][]*packet.Packet
+}
+
+// AddBatch feeds a batch of packets from one child slot through s,
+// preserving Add-at-a-time semantics for synchronizers without a native
+// batch path.
+func AddBatch(s Synchronizer, child int, ps []*packet.Packet) [][]*packet.Packet {
+	if len(ps) == 1 {
+		return s.Add(child, ps[0])
+	}
+	if ba, ok := s.(BatchAdder); ok {
+		return ba.AddBatch(child, ps)
+	}
+	var out [][]*packet.Packet
+	for _, p := range ps {
+		out = append(out, s.Add(child, p)...)
+	}
+	return out
+}
+
+// singletons releases each packet as its own one-packet batch, the shape
+// per-packet Add would have produced.
+func singletons(ps []*packet.Packet) [][]*packet.Packet {
+	out := make([][]*packet.Packet, len(ps))
+	for i := range ps {
+		out[i] = ps[i : i+1 : i+1]
+	}
+	return out
+}
+
 // Drainer is implemented by synchronizers that can be force-flushed at
 // stream shutdown, releasing everything still held back.
 type Drainer interface {
@@ -40,6 +77,12 @@ func NewNullSync() *NullSync { return &NullSync{} }
 // Add releases the packet immediately as a singleton batch.
 func (*NullSync) Add(child int, p *packet.Packet) [][]*packet.Packet {
 	return [][]*packet.Packet{{p}}
+}
+
+// AddBatch releases each packet as its own singleton batch — identical
+// delivery semantics to per-packet Add, with one call per link frame.
+func (*NullSync) AddBatch(child int, ps []*packet.Packet) [][]*packet.Packet {
+	return singletons(ps)
 }
 
 // Poll never releases anything.
@@ -82,6 +125,27 @@ func (w *WaitForAll) Add(child int, p *packet.Packet) [][]*packet.Packet {
 		return [][]*packet.Packet{{p}}
 	}
 	w.queues[child] = append(w.queues[child], p)
+	var out [][]*packet.Packet
+	for w.complete() {
+		batch := make([]*packet.Packet, w.n)
+		for i := range w.queues {
+			batch[i] = w.queues[i][0]
+			w.queues[i] = w.queues[i][1:]
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// AddBatch queues the whole frame, then releases complete rounds once —
+// the same rounds per-packet Add would release, at one queue scan per
+// frame instead of one per packet.
+func (w *WaitForAll) AddBatch(child int, ps []*packet.Packet) [][]*packet.Packet {
+	if child < 0 || child >= w.n {
+		// Unknown slot: deliver immediately rather than lose data.
+		return singletons(ps)
+	}
+	w.queues[child] = append(w.queues[child], ps...)
 	var out [][]*packet.Packet
 	for w.complete() {
 		batch := make([]*packet.Packet, w.n)
@@ -188,6 +252,18 @@ func (t *TimeOut) Add(child int, p *packet.Packet) [][]*packet.Packet {
 		t.deadline = t.now().Add(t.window)
 	}
 	t.pending = append(t.pending, p)
+	return nil
+}
+
+// AddBatch queues the whole frame, opening the window if needed.
+func (t *TimeOut) AddBatch(child int, ps []*packet.Packet) [][]*packet.Packet {
+	if t.window <= 0 {
+		return singletons(ps)
+	}
+	if len(t.pending) == 0 && len(ps) > 0 {
+		t.deadline = t.now().Add(t.window)
+	}
+	t.pending = append(t.pending, ps...)
 	return nil
 }
 

@@ -39,6 +39,46 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrame hammers the multi-packet frame decoder with arbitrary
+// bodies: it must never panic regardless of corrupt counts, truncated
+// packets, or oversize lengths, and anything it accepts must re-encode to
+// an identical frame (the decoder is exactly the inverse of EncodeFrame on
+// valid inputs).
+func FuzzDecodeFrame(f *testing.F) {
+	single := MustNew(101, 7, 3, "%d %f %s", int64(-1), 2.5, "x")
+	batch := []*Packet{
+		MustNew(100, 0, 0, ""),
+		single,
+		MustNew(102, 7, 3, "%ad %af %as %ac",
+			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
+	}
+	f.Add(EncodeFrame(nil))
+	f.Add(EncodeFrame(batch[:1]))
+	f.Add(EncodeFrame(batch))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})               // count 1, no packet
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})   // absurd count
+	f.Add(append([]byte{1, 0, 0, 0}, 0xFF)) // count 1, garbage length
+	f.Add(append(EncodeFrame(batch), 0x00)) // trailing byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re := EncodeFrame(ps)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame does not re-encode identically (%d vs %d bytes)", len(re), len(data))
+		}
+		qs, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if len(qs) != len(ps) {
+			t.Fatalf("re-decode count %d, want %d", len(qs), len(ps))
+		}
+	})
+}
+
 // FuzzFormatRoundTrip fuzzes format strings through the parser: parsing
 // must never panic, and a parse-accepted format must render back into
 // directives consistently.

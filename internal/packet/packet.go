@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Well-known tag values. Tags at or above TagFirstApplication are free for
@@ -92,8 +94,23 @@ var ErrArity = errors.New("packet: format/value arity mismatch")
 // ErrType reports a value whose dynamic type does not match its directive.
 var ErrType = errors.New("packet: value type does not match format directive")
 
-// ParseFormat parses a format string into its directives.
+// fmtCache memoizes parsed format strings. Overlay traffic reuses a
+// handful of formats millions of times, and the per-packet parse (a
+// strings.Fields allocation plus a token scan) is pure overhead on the hot
+// path; the cache is capped so hostile inputs cannot grow it unboundedly.
+var (
+	fmtCache     sync.Map // string -> []Directive (shared, read-only)
+	fmtCacheSize atomic.Int64
+)
+
+const fmtCacheCap = 1024
+
+// ParseFormat parses a format string into its directives. The returned
+// slice may be shared with other callers and must not be modified.
 func ParseFormat(format string) ([]Directive, error) {
+	if v, ok := fmtCache.Load(format); ok {
+		return v.([]Directive), nil
+	}
 	if strings.TrimSpace(format) == "" {
 		return nil, nil
 	}
@@ -105,6 +122,12 @@ func ParseFormat(format string) ([]Directive, error) {
 			return nil, fmt.Errorf("%w: bad directive %q in %q", ErrBadFormat, f, format)
 		}
 		dirs = append(dirs, d)
+	}
+	if fmtCacheSize.Load() < fmtCacheCap {
+		if v, loaded := fmtCache.LoadOrStore(format, dirs); loaded {
+			return v.([]Directive), nil
+		}
+		fmtCacheSize.Add(1)
 	}
 	return dirs, nil
 }
@@ -150,6 +173,8 @@ type Packet struct {
 }
 
 // New constructs a packet, validating the values against the format string.
+// The variadic slice is retained by the packet (coerced in place), so
+// callers expanding a long-lived []any with ... must not mutate it after.
 func New(tag int32, streamID uint32, src Rank, format string, values ...any) (*Packet, error) {
 	dirs, err := ParseFormat(format)
 	if err != nil {
@@ -159,13 +184,12 @@ func New(tag int32, streamID uint32, src Rank, format string, values ...any) (*P
 		return nil, fmt.Errorf("%w: format %q has %d directives, got %d values",
 			ErrArity, format, len(dirs), len(values))
 	}
-	vals := make([]any, len(values))
 	for i, v := range values {
 		cv, err := coerce(dirs[i], v)
 		if err != nil {
 			return nil, fmt.Errorf("value %d: %w", i, err)
 		}
-		vals[i] = cv
+		values[i] = cv
 	}
 	return &Packet{
 		Tag:      tag,
@@ -173,7 +197,7 @@ func New(tag int32, streamID uint32, src Rank, format string, values ...any) (*P
 		SrcRank:  src,
 		Format:   format,
 		dirs:     dirs,
-		values:   vals,
+		values:   values,
 	}, nil
 }
 
@@ -375,6 +399,15 @@ func (p *Packet) WithStream(id uint32) *Packet {
 // is shared, not copied.
 func (p *Packet) WithSrc(r Rank) *Packet {
 	q := *p
+	q.SrcRank = r
+	return &q
+}
+
+// WithStreamSrc re-addresses the packet to a stream and source in one
+// copy; the hot upstream forwarding path re-stamps both per hop.
+func (p *Packet) WithStreamSrc(id uint32, r Rank) *Packet {
+	q := *p
+	q.StreamID = id
 	q.SrcRank = r
 	return &q
 }

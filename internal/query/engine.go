@@ -266,13 +266,21 @@ type Engine struct {
 	nw *core.Network
 }
 
+// Option adjusts the overlay configuration an Engine is built on.
+type Option func(*core.Config)
+
+// WithBatch enables per-link egress batching on the engine's overlay.
+func WithBatch(p core.BatchPolicy) Option {
+	return func(c *core.Config) { c.Batch = p }
+}
+
 // NewEngine builds an overlay whose back-ends evaluate queries against the
 // given attribute source (invoked per request, so values may change
 // between queries). The engine owns the network; call Close when done.
-func NewEngine(tree *topology.Tree, attrs func(rank core.Rank) AttrSource) (*Engine, error) {
+func NewEngine(tree *topology.Tree, attrs func(rank core.Rank) AttrSource, opts ...Option) (*Engine, error) {
 	reg := filter.NewRegistry()
 	Register(reg)
-	nw, err := core.NewNetwork(core.Config{
+	cfg := core.Config{
 		Topology: tree,
 		Registry: reg,
 		OnBackEnd: func(be *core.BackEnd) error {
@@ -306,7 +314,11 @@ func NewEngine(tree *topology.Tree, attrs func(rank core.Rank) AttrSource) (*Eng
 				}
 			}
 		},
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	nw, err := core.NewNetwork(cfg)
 	if err != nil {
 		return nil, err
 	}

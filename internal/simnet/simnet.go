@@ -89,7 +89,31 @@ type Link struct {
 
 // Send applies the cost model and forwards to the wrapped link.
 func (l *Link) Send(p *packet.Packet) error {
-	d := l.Model.TransferTime(p.EncodedSize())
+	l.charge(l.Model.TransferTime(p.EncodedSize()))
+	return l.Link.Send(p)
+}
+
+// SendBatch charges the frame cost — the fixed per-message latency once
+// per frame plus the bandwidth term for every payload byte — and forwards
+// the batch to the wrapped link. This is what makes the modeled benefit of
+// egress batching visible: a frame of 32 small packets costs one latency
+// plus 32 payloads, not 32 latencies.
+func (l *Link) SendBatch(ps []*packet.Packet) error {
+	bytes := 0
+	for _, p := range ps {
+		bytes += p.EncodedSize()
+	}
+	l.charge(l.Model.TransferTime(bytes))
+	return transport.SendBatch(l.Link, ps)
+}
+
+// RecvBatch forwards to the wrapped link's batch path, so frames survive
+// the cost-model decoration on the receive side.
+func (l *Link) RecvBatch() ([]*packet.Packet, error) {
+	return transport.RecvBatch(l.Link)
+}
+
+func (l *Link) charge(d time.Duration) {
 	if l.Clock != nil {
 		l.Clock.Advance(d)
 	}
@@ -98,7 +122,6 @@ func (l *Link) Send(p *packet.Packet) error {
 		time.Sleep(time.Duration(float64(d) * l.TimeScale))
 		l.mu.Unlock()
 	}
-	return l.Link.Send(p)
 }
 
 // Drop severs the wrapped link abruptly (crash modeling); the cost model

@@ -29,6 +29,55 @@ type Link interface {
 	Close() error
 }
 
+// BatchLink is implemented by links with a native multi-packet fast path:
+// SendBatch moves a whole batch with one link operation (one channel
+// transfer, or one length-prefixed frame and one bufio flush on TCP), and
+// RecvBatch returns everything one such operation delivered. Both built-in
+// transports implement it; the SendBatch/RecvBatch package helpers fall
+// back to per-packet Send/Recv for links that do not.
+type BatchLink interface {
+	Link
+	// SendBatch delivers the packets in order as one frame. The link takes
+	// ownership of the slice; the caller must not reuse it.
+	SendBatch(ps []*packet.Packet) error
+	// RecvBatch returns the next frame's packets in order. Like Recv it
+	// blocks until data arrives or the link closes (then io.EOF).
+	RecvBatch() ([]*packet.Packet, error)
+}
+
+// SendBatch sends the packets over l in order, using the link's native
+// batch path when it has one. The slice is owned by the link afterwards.
+func SendBatch(l Link, ps []*packet.Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	if len(ps) == 1 {
+		return l.Send(ps[0])
+	}
+	if b, ok := l.(BatchLink); ok {
+		return b.SendBatch(ps)
+	}
+	for _, p := range ps {
+		if err := l.Send(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvBatch receives the next frame from l, falling back to a single-packet
+// batch for links without a native batch path.
+func RecvBatch(l Link) ([]*packet.Packet, error) {
+	if b, ok := l.(BatchLink); ok {
+		return b.RecvBatch()
+	}
+	p, err := l.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return []*packet.Packet{p}, nil
+}
+
 // Dropper is implemented by links that can model a process crash: Drop
 // severs the link abruptly, discarding any packets still in flight, so the
 // peer observes an unexpected EOF rather than a graceful drain. Fault

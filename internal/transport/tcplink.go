@@ -13,15 +13,19 @@ import (
 )
 
 // tcpLink adapts a net.Conn to the Link interface using the packet wire
-// format with uint32 length-prefix framing.
+// format with multi-packet frames (packet.WriteFrame): every Send or
+// SendBatch is one length-prefixed frame and exactly one bufio flush, so a
+// batched flush pays one write syscall for the whole batch.
 type tcpLink struct {
 	conn net.Conn
 
 	sendMu sync.Mutex
 	w      *bufio.Writer
 
-	recvMu sync.Mutex
-	r      *bufio.Reader
+	recvMu  sync.Mutex
+	r       *bufio.Reader
+	pending []*packet.Packet // partially consumed inbound frame
+	pendOff int
 
 	closeOnce sync.Once
 	closeErr  error
@@ -38,9 +42,21 @@ func NewTCPLink(conn net.Conn) Link {
 }
 
 func (l *tcpLink) Send(p *packet.Packet) error {
+	return l.writeFrame([]*packet.Packet{p})
+}
+
+// SendBatch writes the whole batch as one frame with a single flush.
+func (l *tcpLink) SendBatch(ps []*packet.Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	return l.writeFrame(ps)
+}
+
+func (l *tcpLink) writeFrame(ps []*packet.Packet) error {
 	l.sendMu.Lock()
 	defer l.sendMu.Unlock()
-	if _, err := p.WriteTo(l.w); err != nil {
+	if _, err := packet.WriteFrame(l.w, ps); err != nil {
 		return l.mapErr(err)
 	}
 	if err := l.w.Flush(); err != nil {
@@ -52,14 +68,52 @@ func (l *tcpLink) Send(p *packet.Packet) error {
 func (l *tcpLink) Recv() (*packet.Packet, error) {
 	l.recvMu.Lock()
 	defer l.recvMu.Unlock()
-	p, err := packet.ReadFrom(l.r)
-	if err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || isClosedConn(err) {
-			return nil, io.EOF
+	if l.pendOff < len(l.pending) {
+		p := l.pending[l.pendOff]
+		l.pendOff++
+		if l.pendOff == len(l.pending) {
+			l.pending, l.pendOff = nil, 0
 		}
+		return p, nil
+	}
+	ps, err := l.readFrame()
+	if err != nil {
 		return nil, err
 	}
+	p := ps[0]
+	if len(ps) > 1 {
+		l.pending, l.pendOff = ps, 1
+	}
 	return p, nil
+}
+
+// RecvBatch returns the next inbound frame's packets as one batch.
+func (l *tcpLink) RecvBatch() ([]*packet.Packet, error) {
+	l.recvMu.Lock()
+	defer l.recvMu.Unlock()
+	if l.pendOff < len(l.pending) {
+		ps := l.pending[l.pendOff:]
+		l.pending, l.pendOff = nil, 0
+		return ps, nil
+	}
+	return l.readFrame()
+}
+
+// readFrame reads frames until one carries at least one packet; callers
+// hold recvMu.
+func (l *tcpLink) readFrame() ([]*packet.Packet, error) {
+	for {
+		ps, err := packet.ReadFrame(l.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || isClosedConn(err) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if len(ps) > 0 {
+			return ps, nil
+		}
+	}
 }
 
 func (l *tcpLink) Close() error {
