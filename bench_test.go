@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -164,23 +165,30 @@ func BenchmarkBatching(b *testing.B) {
 
 // BenchmarkRecovery regenerates T-RECOVERY points: end-to-end live
 // failure recovery (heartbeat detection + grandparent adoption) on a
-// running overlay, per tree shape.
+// running overlay, per tree shape and link fabric.
 func BenchmarkRecovery(b *testing.B) {
 	for _, shape := range []string{"kary:2^3", "kary:8^2"} {
-		b.Run(shape, func(b *testing.B) {
-			cfg := experiments.DefaultRecoveryConfig()
-			cfg.Shapes = []string{shape}
-			for i := 0; i < b.N; i++ {
-				rows, err := experiments.RunRecovery(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if !rows[0].Correct {
-					b.Fatal("post-recovery reduction incorrect")
-				}
-				b.ReportMetric(rows[0].Detection.Seconds()*1e3, "detect-ms")
-				b.ReportMetric(float64(rows[0].Rewire.Microseconds()), "rewire-µs")
+		for _, tr := range []core.TransportKind{core.ChanTransport, core.TCPTransport} {
+			name := shape + "/chan"
+			if tr == core.TCPTransport {
+				name = shape + "/tcp"
 			}
-		})
+			b.Run(name, func(b *testing.B) {
+				cfg := experiments.DefaultRecoveryConfig()
+				cfg.Shapes = []string{shape}
+				cfg.Transports = []core.TransportKind{tr}
+				for i := 0; i < b.N; i++ {
+					rows, err := experiments.RunRecovery(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rows[0].Correct {
+						b.Fatal("post-recovery reduction incorrect")
+					}
+					b.ReportMetric(rows[0].Detection.Seconds()*1e3, "detect-ms")
+					b.ReportMetric(float64(rows[0].Rewire.Microseconds()), "rewire-µs")
+				}
+			})
+		}
 	}
 }

@@ -1,7 +1,9 @@
 // Failover: a live demonstration of the zero-cost reliability model on a
-// running overlay. A 2-deep tree serves a continuous sum reduction while a
-// mid-level communication process is crashed; the heartbeat detector
-// declares the failure, the grandparent adopts the orphaned subtrees, and
+// running overlay — on BOTH link fabrics. A 2-deep tree serves a
+// continuous sum reduction while a mid-level communication process is
+// crashed; the heartbeat detector declares the failure, the grandparent
+// adopts the orphaned subtrees over brand-new links (in-process pairs on
+// the chan fabric, listen+redial TCP connections on the TCP fabric), and
 // the same stream keeps producing the full-membership answer — no
 // checkpointing, no back-end restart.
 package main
@@ -17,6 +19,12 @@ import (
 )
 
 func main() {
+	demo("chan fabric (in-process links)", core.ChanTransport)
+	demo("tcp fabric (real sockets, rewired live)", core.TCPTransport)
+}
+
+func demo(label string, tr core.TransportKind) {
+	fmt.Printf("== %s ==\n", label)
 	tree, err := topology.ParseSpec("kary:4^2") // 1 front-end, 4 comm, 16 back-ends
 	if err != nil {
 		log.Fatal(err)
@@ -24,6 +32,7 @@ func main() {
 
 	nw, err := core.NewNetwork(core.Config{
 		Topology:        tree,
+		Transport:       tr,
 		Recoverable:     true,
 		HeartbeatPeriod: 20 * time.Millisecond,
 		OnBackEnd: func(be *core.BackEnd) error {
@@ -99,7 +108,7 @@ func main() {
 	round("round 4")
 
 	m := nw.Metrics()
-	fmt.Printf("metrics: failed=%d recovered=%d orphans=%d heartbeats=%d rewire=%v\n",
+	fmt.Printf("metrics: failed=%d recovered=%d orphans=%d rewired-links=%d heartbeats=%d rewire=%v\n\n",
 		m.NodesFailed.Load(), m.RecoveriesCompleted.Load(), m.OrphansAdopted.Load(),
-		m.HeartbeatsSeen.Load(), time.Duration(m.RecoveryNanos.Load()))
+		m.RewiredLinks.Load(), m.HeartbeatsSeen.Load(), time.Duration(m.RecoveryNanos.Load()))
 }

@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
+
+// ErrBadAttachParent reports an AttachBackEnd target that cannot accept a
+// new child: a back-end (leaves have no routing loop), or the front-end
+// of a tree that has internal communication processes (attach under one
+// of those instead). The front-end itself is a valid parent only on flat
+// (depth-1) topologies, where it is the sole routing process.
+var ErrBadAttachParent = errors.New("core: attach parent cannot accept children")
 
 // AttachBackEnd implements the paper's dynamic topology model: "back-end
 // processes may join after the internal tree has been instantiated." It
@@ -15,14 +23,13 @@ import (
 //
 // The new back-end participates in streams created *after* it attaches
 // (existing streams' membership was fixed at creation, as in MRNet).
-// Restrictions: chan transport only, and the parent must be an internal
-// communication process (attachments to the front-end or to a leaf are
-// rejected).
+// The parent must be an internal communication process — or the
+// front-end itself on a flat (depth-1) topology, which has no internal
+// processes. Attachments to back-ends, and to the front-end of a deeper
+// tree, fail with ErrBadAttachParent. Works on any fabric: the new link
+// is minted by the network's Rewirer (the parent side listens, the
+// newcomer redials).
 func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
-	if nw.cfg.Transport != ChanTransport {
-		return topology.NoRank, fmt.Errorf("core: AttachBackEnd requires the chan transport")
-	}
-
 	nw.mu.Lock()
 	if nw.shutdown {
 		nw.mu.Unlock()
@@ -34,9 +41,13 @@ func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
 		nw.mu.Unlock()
 		return topology.NoRank, fmt.Errorf("core: no such parent %d", parent)
 	}
-	if pn.IsRoot() || nw.view.backend[parent] {
+	if nw.view.backend[parent] {
 		nw.mu.Unlock()
-		return topology.NoRank, fmt.Errorf("core: parent %d must be an internal communication process", parent)
+		return topology.NoRank, fmt.Errorf("%w: %d is a back-end", ErrBadAttachParent, parent)
+	}
+	if pn.IsRoot() && len(old.InternalNodes()) > 0 {
+		nw.mu.Unlock()
+		return topology.NoRank, fmt.Errorf("%w: %d is the front-end of a non-flat tree", ErrBadAttachParent, parent)
 	}
 	if nw.view.dead[parent] {
 		nw.mu.Unlock()
@@ -56,31 +67,65 @@ func (nw *Network) AttachBackEnd(parent Rank) (Rank, error) {
 	}
 	newRank, slot := nw.view.addLeaf(parent)
 	nw.tree = newTree
-	n := nw.byRank[parent]
+	n := nw.byRank[parent] // nil when the parent is the front-end
 	nw.mu.Unlock()
 
-	parentEnd, childEnd := transport.NewPair(nw.cfg.ChanBuf)
-
-	// Hand the new link to the parent's event loop; the send completes
-	// only once the loop has installed the child, so a stream created
-	// after this call observes the new topology end to end. The parent
-	// may have crashed (killed but not yet recovered) — fail rather than
-	// block forever, and mark the stillborn leaf dead so stream
-	// membership never includes it.
+	// Mint the link through the fabric's rewiring protocol. Both halves
+	// run here — the network process owns the parent's rendezvous and the
+	// newcomer's redial alike — but the split keeps the code path the one
+	// a distributed joiner would use.
 	stillborn := func(err error) (Rank, error) {
 		nw.mu.Lock()
 		nw.view.dead[newRank] = true
 		nw.mu.Unlock()
 		return topology.NoRank, err
 	}
-	select {
-	case n.attachCh <- attachMsg{link: parentEnd, slot: slot}:
-	case <-n.killCh:
-		return stillborn(fmt.Errorf("core: parent %d has crashed", parent))
-	case <-nw.dying:
-		return stillborn(ErrShutdown)
-	case <-time.After(5 * time.Second):
-		return stillborn(fmt.Errorf("core: parent %d did not accept the attachment", parent))
+	off, err := nw.rewirer.Offer()
+	if err != nil {
+		return stillborn(fmt.Errorf("core: attaching back-end: %w", err))
+	}
+	childEnd, err := nw.rewirer.Redial(off.Addr())
+	if err != nil {
+		_ = off.Close()
+		return stillborn(fmt.Errorf("core: attaching back-end: %w", err))
+	}
+	parentEnd, err := off.Accept()
+	if err != nil {
+		transport.DropLink(childEnd)
+		return stillborn(fmt.Errorf("core: attaching back-end: %w", err))
+	}
+	nw.metrics.RewiredLinks.Add(1)
+
+	// Hand the new link to the parent's event loop; the send completes
+	// only once the loop is servicing attachments, so a stream created
+	// after this call observes the new topology end to end. The parent
+	// may have crashed (killed but not yet recovered) — fail rather than
+	// block forever, and mark the stillborn leaf dead so stream
+	// membership never includes it.
+	abort := func(err error) (Rank, error) {
+		transport.DropLink(parentEnd)
+		transport.DropLink(childEnd)
+		return stillborn(err)
+	}
+	msg := attachMsg{link: parentEnd, slot: slot}
+	if n != nil {
+		select {
+		case n.attachCh <- msg:
+		case <-n.killCh:
+			return abort(fmt.Errorf("core: parent %d has crashed", parent))
+		case <-nw.dying:
+			return abort(ErrShutdown)
+		case <-time.After(5 * time.Second):
+			return abort(fmt.Errorf("core: parent %d did not accept the attachment", parent))
+		}
+	} else {
+		select {
+		case nw.fe.attachCh <- msg:
+		case <-nw.dying:
+			return abort(ErrShutdown)
+		case <-time.After(5 * time.Second):
+			return abort(fmt.Errorf("core: front-end did not accept the attachment"))
+		}
 	}
 
 	be := newBackEnd(nw, newRank, &transport.Endpoint{Rank: newRank, Parent: childEnd})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -92,19 +93,104 @@ func TestAttachBackEndValidation(t *testing.T) {
 	tree := mustTree(t, "kary:2^2")
 	nw := echoValue(t, tree, ChanTransport)
 	defer nw.Shutdown()
-	if _, err := nw.AttachBackEnd(0); err == nil {
-		t.Error("attach to front-end: want error")
+	// The front-end of a non-flat tree and back-ends cannot accept
+	// children; both rejections carry the documented typed error.
+	if _, err := nw.AttachBackEnd(0); !errors.Is(err, ErrBadAttachParent) {
+		t.Errorf("attach to front-end of deep tree: err = %v, want ErrBadAttachParent", err)
 	}
-	if _, err := nw.AttachBackEnd(3); err == nil {
-		t.Error("attach to back-end: want error")
+	if _, err := nw.AttachBackEnd(3); !errors.Is(err, ErrBadAttachParent) {
+		t.Errorf("attach to back-end: err = %v, want ErrBadAttachParent", err)
 	}
 	if _, err := nw.AttachBackEnd(99); err == nil {
 		t.Error("attach to missing rank: want error")
 	}
+}
+
+// TestAttachBackEndTCP: dynamic attach works on the TCP fabric — the new
+// link is minted via listen+redial and the newcomer joins new streams.
+func TestAttachBackEndTCP(t *testing.T) {
 	tcp := echoValue(t, mustTree(t, "kary:2^2"), TCPTransport)
 	defer tcp.Shutdown()
-	if _, err := tcp.AttachBackEnd(1); err == nil {
-		t.Error("attach on TCP transport: want error")
+	r, err := tcp.AttachBackEnd(1)
+	if err != nil {
+		t.Fatalf("attach on TCP transport: %v", err)
+	}
+	if r != 7 {
+		t.Fatalf("attached rank %d, want 7", r)
+	}
+	st, err := tcp.NewStream(StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Multicast(tagQuery, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.RecvTimeout(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Int(0); v != 5 {
+		t.Errorf("count = %d, want 5 (4 original + 1 attached over TCP)", v)
+	}
+	if tcp.Metrics().RewiredLinks.Load() == 0 {
+		t.Error("RewiredLinks not counted")
+	}
+}
+
+// TestAttachBackEndFlatTree: on a flat (depth-1) topology the front-end
+// is the only routing process, so it accepts attachments directly —
+// previously rejected outright, which made flat trees permanently static.
+func TestAttachBackEndFlatTree(t *testing.T) {
+	for _, tr := range []TransportKind{ChanTransport, TCPTransport} {
+		name := "chan"
+		if tr == TCPTransport {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			nw := echoValue(t, mustTree(t, "flat:3"), tr)
+			defer nw.Shutdown()
+
+			// Existing streams must keep excluding the newcomer.
+			pre, err := nw.NewStream(StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := nw.AttachBackEnd(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != 4 {
+				t.Fatalf("attached rank %d, want 4", r)
+			}
+			for round := 0; round < 2; round++ {
+				if err := pre.Multicast(tagQuery, ""); err != nil {
+					t.Fatal(err)
+				}
+				p, err := pre.RecvTimeout(10 * time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v, _ := p.Int(0); v != 3 {
+					t.Errorf("old stream count = %d, want 3 (newcomer excluded)", v)
+				}
+			}
+
+			// A stream created afterwards includes it.
+			post, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := post.Multicast(tagQuery, ""); err != nil {
+				t.Fatal(err)
+			}
+			p, err := post.RecvTimeout(10 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := p.Float(0); v != 10 { // ranks 1+2+3+4
+				t.Errorf("new stream sum = %g, want 10", v)
+			}
+		})
 	}
 }
 

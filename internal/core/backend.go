@@ -23,8 +23,10 @@ type BackEnd struct {
 	// parentMu guards ep.Parent, which recovery replaces when the
 	// back-end's parent process fails and a grandparent adopts it.
 	parentMu sync.RWMutex
-	// reparentCh delivers the replacement parent link.
-	reparentCh chan transport.Link
+	// reparentCh delivers the rendezvous of the replacement parent link;
+	// the back-end redials it itself (the orphan half of the fabric's
+	// rewiring protocol).
+	reparentCh chan reparentReq
 	// killCh is closed by Kill to crash the back-end.
 	killCh   chan struct{}
 	killOnce sync.Once
@@ -45,7 +47,7 @@ func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
 		rank:       rank,
 		ep:         ep,
 		inbox:      make(chan *packet.Packet, 64),
-		reparentCh: make(chan transport.Link, 1),
+		reparentCh: make(chan reparentReq, 1),
 		killCh:     make(chan struct{}),
 	}
 	if nw.cfg.Batch.enabled() {
@@ -158,11 +160,23 @@ func (be *BackEnd) Flush() error {
 // ageFlusher enforces the egress age bound: woken by the first enqueue,
 // it sleeps out the queue's deadline, flushes what is due, and goes back
 // to sleep once the queue empties.
+//
+// Timer discipline: the timer is created lazily on the first arm, and
+// every arm is immediately followed by the select that either drains its
+// channel or returns — so outside that window the timer is always idle,
+// and the deferred stop-and-drain guarantees nothing fires (or leaks a
+// pending tick) after the flusher returns, however rapid the start/stop
+// cycle.
 func (be *BackEnd) ageFlusher(stop <-chan struct{}) {
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
 	for {
 		select {
 		case <-stop:
@@ -178,15 +192,16 @@ func (be *BackEnd) ageFlusher(stop <-chan struct{}) {
 			if d.IsZero() {
 				break // queue drained; wait for the next kick
 			}
-			wait := time.Until(d)
-			if wait > 0 {
-				timer.Reset(wait)
+			if wait := time.Until(d); wait > 0 {
+				if timer == nil {
+					timer = time.NewTimer(wait)
+				} else {
+					timer.Reset(wait)
+				}
 				select {
 				case <-stop:
-					timer.Stop()
 					return
 				case <-be.killCh:
-					timer.Stop()
 					return
 				case <-timer.C:
 				}
@@ -229,7 +244,13 @@ loop:
 			// (or the network tears down).
 			if be.nw.recoverable() && !be.killed() {
 				select {
-				case l := <-be.reparentCh:
+				case req := <-be.reparentCh:
+					l, err := req.rw.Redial(req.addr)
+					if err != nil {
+						// The adoption abandoned the offer (or the fabric
+						// failed): stay orphaned and await the next one.
+						continue
+					}
 					old := be.parentLink()
 					be.setParent(l)
 					transport.DropLink(old)

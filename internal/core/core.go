@@ -72,6 +72,11 @@ type Config struct {
 	// WrapFabric, if non-nil, is applied to the fabric before nodes start;
 	// used to interpose the simnet cost model on every link.
 	WrapFabric func([]*transport.Endpoint)
+	// Rewirer mints replacement links for live topology mutation (recovery
+	// reparenting, AttachBackEnd). Nil selects the fabric's native
+	// implementation: in-process pairs on ChanTransport, loopback
+	// listen+redial on TCPTransport.
+	Rewirer transport.Rewirer
 	// OnBackEnd runs application code at each back-end in its own
 	// goroutine. May be nil for networks driven purely by multicast tests.
 	OnBackEnd func(be *BackEnd) error
@@ -113,6 +118,7 @@ type Metrics struct {
 	NodesFailed          atomic.Int64 // processes crashed (Kill injections)
 	RecoveriesCompleted  atomic.Int64 // successful live adoptions
 	OrphansAdopted       atomic.Int64 // subtrees re-parented by recovery
+	RewiredLinks         atomic.Int64 // replacement links minted (adopt/attach)
 	RecoveryNanos        atomic.Int64 // total time spent rewiring (ns)
 	ShutdownSendFailures atomic.Int64 // shutdown announcements to dead links
 }
@@ -124,6 +130,7 @@ type Network struct {
 	tree     *topology.Tree
 	registry *filter.Registry
 	metrics  Metrics
+	rewirer  transport.Rewirer
 
 	fe    *feState
 	nodes []*node
@@ -181,9 +188,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.WrapFabric != nil {
 		cfg.WrapFabric(eps)
 	}
+	rewirer := cfg.Rewirer
+	if rewirer == nil {
+		switch cfg.Transport {
+		case ChanTransport:
+			rewirer = transport.NewChanRewirer(cfg.ChanBuf)
+		case TCPTransport:
+			rewirer = &transport.TCPRewirer{}
+		}
+	}
 
 	nw := &Network{
 		cfg:      cfg,
+		rewirer:  rewirer,
 		tree:     cfg.Topology,
 		registry: reg,
 		streams:  map[uint32]*Stream{},
@@ -194,7 +211,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		bes:      map[Rank]*BackEnd{},
 		lastHB:   map[Rank]time.Time{},
 	}
-	nw.fe = &feState{nw: nw, ep: eps[0], cmdCh: make(chan *cmdAdopt)}
+	nw.fe = &feState{nw: nw, ep: eps[0], cmdCh: make(chan *cmdAdopt), attachCh: make(chan attachMsg)}
 
 	// Start communication processes and back-ends.
 	for r := 1; r < cfg.Topology.Len(); r++ {

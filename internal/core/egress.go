@@ -51,6 +51,12 @@ func (p BatchPolicy) normalized() BatchPolicy {
 	return p
 }
 
+// maxEgressFrameBytes bounds the encoded bytes batched into one wire
+// frame. It is a variable (always packet.MaxWireSize in production) only
+// so tests can shrink it to exercise the multi-frame split without
+// queueing 256 MiB.
+var maxEgressFrameBytes = packet.MaxWireSize
+
 // maxRetained bounds an egress queue retained across a dead parent link
 // (an orphan waiting for adoption): beyond it the oldest packets are
 // dropped, mirroring the bounded kernel-buffer loss a real crashed link
@@ -108,7 +114,7 @@ func (q *egressQueue) send(p *packet.Packet) error {
 		return q.link.Send(p)
 	}
 	sz := p.EncodedSize()
-	if len(q.buf) > 0 && q.bytes+sz > packet.MaxWireSize {
+	if len(q.buf) > 0 && q.bytes+sz > maxEgressFrameBytes {
 		// Individually legal packets must never combine into a frame the
 		// receiver would reject (bytes tracks per-packet framing overhead
 		// too, keeping the body within packet.MaxFrameBody): flush what
@@ -155,9 +161,13 @@ func (q *egressQueue) flush(cause int) error {
 	buf, total := q.buf, q.bytes
 	q.buf = nil
 	q.bytes = 0
-	q.adapt(cause)
 	unsent, frames, err := q.sendFrames(buf, total)
-	if err != nil {
+	if err == nil {
+		// Adapt the window only when the flush actually went out: a
+		// dead-link retry loop (retained buffer, recoverable owner) must
+		// not collapse or inflate the adaptive window while nothing moves.
+		q.adapt(cause)
+	} else {
 		if q.retain {
 			// The link died under us: keep the unsent remainder (bounded)
 			// so a reparent can re-flush it to the new parent.
@@ -200,7 +210,7 @@ func (q *egressQueue) flush(cause int) error {
 // not-yet-sent packets are returned; already-sent frames are delivered, so
 // nothing is duplicated on retry.
 func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*packet.Packet, frames int64, err error) {
-	if total <= packet.MaxWireSize+4 {
+	if total <= maxEgressFrameBytes+4 {
 		if err := transport.SendBatch(q.link, buf); err != nil {
 			return buf, 0, err
 		}
@@ -209,7 +219,7 @@ func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*pac
 	start, bytes := 0, 0
 	for i, p := range buf {
 		sz := p.EncodedSize() + 4
-		if i > start && bytes+sz > packet.MaxWireSize+4 {
+		if i > start && bytes+sz > maxEgressFrameBytes+4 {
 			if err := transport.SendBatch(q.link, buf[start:i]); err != nil {
 				return buf[start:], frames, err
 			}

@@ -211,13 +211,21 @@ func TestStreamFIFOOrder(t *testing.T) {
 	}
 }
 
-// recoverableEcho builds a Recoverable network with heartbeats whose
-// back-ends answer every multicast with their rank as a float.
+// recoverableEcho builds a Recoverable chan-fabric network with
+// heartbeats whose back-ends answer every multicast with their rank as a
+// float.
 func recoverableEcho(t *testing.T, spec string, hb time.Duration) *Network {
+	t.Helper()
+	return recoverableEchoOn(t, spec, hb, ChanTransport)
+}
+
+// recoverableEchoOn is recoverableEcho on an explicit link fabric.
+func recoverableEchoOn(t *testing.T, spec string, hb time.Duration, kind TransportKind) *Network {
 	t.Helper()
 	tree := mustTree(t, spec)
 	nw, err := NewNetwork(Config{
 		Topology:        tree,
+		Transport:       kind,
 		Recoverable:     true,
 		HeartbeatPeriod: hb,
 		OnBackEnd: func(be *BackEnd) error {

@@ -31,6 +31,9 @@ type feState struct {
 	adoptSeq atomic.Uint64
 	// cmdCh delivers adoption commands into the receive loop.
 	cmdCh chan *cmdAdopt
+	// attachCh delivers links for back-ends attached directly under the
+	// front-end (flat topologies; see AttachBackEnd).
+	attachCh chan attachMsg
 }
 
 func (fe *feState) state(id uint32) *streamState {
@@ -157,6 +160,9 @@ loop:
 			case c := <-fe.cmdCh:
 				live += fe.handleAdopt(c, inbox)
 				continue
+			case a := <-fe.attachCh:
+				live += fe.handleAttach(a, inbox)
+				continue
 			case <-fe.nw.dying:
 				break loop
 			}
@@ -187,6 +193,11 @@ loop:
 				timer.Stop()
 			}
 			live += fe.handleAdopt(c, inbox)
+		case a := <-fe.attachCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			live += fe.handleAttach(a, inbox)
 		case <-timerC:
 			fe.pollStreams()
 		}
@@ -218,6 +229,33 @@ func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
 	fe.adoptSeq.Add(1) // even again: links and routing consistent
 	c.reply <- nil
 	return len(c.links)
+}
+
+// handleAttach installs a dynamically attached back-end's link as a new
+// front-end child slot (flat topologies, where the front-end is the sole
+// routing process). Existing streams do not include the newcomer; their
+// routing slices just widen. Returns the number of new live child links.
+func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
+	fe.mu.Lock()
+	states := make([]*streamState, 0, len(fe.states))
+	for _, ss := range fe.states {
+		states = append(states, ss)
+	}
+	fe.mu.Unlock()
+	fe.adoptSeq.Add(1) // odd: rewiring in progress
+	fe.installChild(a.slot, a.link)
+	for _, ss := range states {
+		ss.growSlots(a.slot + 1)
+	}
+	fe.adoptSeq.Add(1) // even again: links and routing consistent
+	go readLink(a.link, a.slot, inbox)
+	if fe.nw.tearingDown() {
+		// The newcomer raced a shutdown whose announcement sweep may have
+		// snapshotted the links before this install: pass the
+		// announcement on so it terminates like everyone else.
+		_ = a.link.Send(packet.MustNew(packet.TagControl, 0, 0, ctrlShutdownFormat, int64(opShutdown)))
+	}
+	return 1
 }
 
 // handleUp processes one upstream frame, feeding maximal same-stream runs

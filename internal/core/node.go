@@ -224,10 +224,7 @@ func (n *node) addChild(a attachMsg, inbox chan inMsg) {
 	n.installChild(a.slot, a.link)
 	n.liveChildren++
 	for _, ss := range n.streams {
-		for len(ss.downChildren) <= a.slot {
-			ss.downChildren = append(ss.downChildren, false)
-			ss.upSlot = append(ss.upSlot, -1)
-		}
+		ss.growSlots(a.slot + 1)
 	}
 	if n.shuttingDown {
 		// The newcomer raced a shutdown: pass the announcement on so it

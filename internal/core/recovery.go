@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/filter"
@@ -72,10 +73,21 @@ type cmdAdopt struct {
 	reply    chan error
 }
 
-// cmdReparent hands an orphaned node its replacement parent link.
+// reparentReq hands an orphaned back-end the rendezvous of its
+// replacement parent link (the back-end analogue of cmdReparent).
+type reparentReq struct {
+	rw   transport.Rewirer
+	addr string
+}
+
+// cmdReparent hands an orphaned node the rendezvous of its replacement
+// parent link; the orphan redials it from inside its own event loop (the
+// fabric-agnostic half of the rewiring protocol: the adopter listens, the
+// orphan redials).
 type cmdReparent struct {
-	link  transport.Link
-	reply chan struct{}
+	rw    transport.Rewirer
+	addr  string
+	reply chan error
 }
 
 func (*cmdSnapshot) isNodeCmd() {}
@@ -110,9 +122,15 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		}
 		cmd.reply <- nil
 	case *cmdReparent:
+		link, err := cmd.rw.Redial(cmd.addr)
+		if err != nil {
+			// Redial failed: stay orphaned and await another adoption.
+			cmd.reply <- err
+			return
+		}
 		n.parentMu.Lock()
 		old := n.ep.Parent
-		n.ep.Parent = cmd.link
+		n.ep.Parent = link
 		n.parentMu.Unlock()
 		transport.DropLink(old) // usually already dead; fences false positives
 		n.parentGen++
@@ -120,9 +138,9 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		// Repoint the upstream egress queue, re-flushing any packets it
 		// retained while the old parent was dead: accepted-but-unflushed
 		// data survives the failure instead of being lost with the link.
-		n.parentOut.setLink(cmd.link)
-		go readLink(cmd.link, -1, inbox)
-		cmd.reply <- struct{}{}
+		n.parentOut.setLink(link)
+		go readLink(link, -1, inbox)
+		cmd.reply <- nil
 	}
 }
 
@@ -363,17 +381,49 @@ func (nw *Network) sendNodeCmd(n *node, c nodeCmd) error {
 	}
 }
 
+// replacementAcceptTimeout bounds how long an adoption waits for an
+// orphan's redial to land on its offer. An orphan that dies between the
+// reparent handoff and its redial (an overlapping failure) must not wedge
+// the recovery: its offer is abandoned and its slot stays empty until its
+// own recovery, like any other dead child.
+const replacementAcceptTimeout = 2 * time.Second
+
+// acceptReplacement waits, bounded, for the orphan's redial to land on the
+// offer and returns the adopter-side end of the replacement link.
+func acceptReplacement(o transport.Offer) (transport.Link, error) {
+	type res struct {
+		l   transport.Link
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		l, err := o.Accept()
+		ch <- res{l, err}
+	}()
+	timer := time.NewTimer(replacementAcceptTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.l, r.err
+	case <-timer.C:
+		_ = o.Close()
+		r := <-ch // Accept fails (or delivers a raced redial) once closed
+		if r.err != nil {
+			return nil, fmt.Errorf("core: orphan never redialed: %w", r.err)
+		}
+		return r.l, nil
+	}
+}
+
 // Adopt applies the zero-cost recovery rule to the running overlay after
 // the process at failed has crashed: its parent adopts the orphans, every
 // affected stream's routing and synchronization is rebuilt, streams are
 // re-announced into the adopted subtrees, and — via compose — the lost
 // node's composable filter state is reconstructed from the orphans'
 // snapshots and absorbed by the adopter. compose may be nil to skip state
-// reconstruction. Chan transport only (like AttachBackEnd).
+// reconstruction. Works on any fabric: replacement links are minted by
+// the network's Rewirer (the adopter listens, each orphan redials).
 func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) {
-	if nw.cfg.Transport != ChanTransport {
-		return nil, fmt.Errorf("core: Adopt requires the chan transport")
-	}
 	nw.recMu.Lock()
 	defer nw.recMu.Unlock()
 	start := time.Now()
@@ -455,26 +505,30 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 		}
 	}
 
-	// 3. Wire one fresh link per orphan and re-parent the orphans first:
-	// their reader goroutines must be live before the adopter sends
-	// stream re-announcements, or those sends could block on a full link
-	// buffer with nobody draining it. Orphan data sent before the adopter
-	// installs its ends just queues in the link.
-	links := make([]transport.Link, len(orphans))
-	childEnds := make([]transport.Link, len(orphans))
-	for i := range orphans {
-		links[i], childEnds[i] = transport.NewPair(nw.cfg.ChanBuf)
-	}
-	// rollback undoes the view mutation and severs the fresh links if the
-	// adopter cannot complete the installation (e.g. it was killed while
-	// this recovery ran), so a later retry starts from a consistent state
-	// and already-reparented orphans fall back to waiting. The orphan
-	// slots are vacated, not removed: a concurrent attach may have
-	// appended further slots whose indices must not shift.
+	// 3. Mint one replacement-link rendezvous per orphan and re-parent the
+	// orphans first: each orphan redials its offer from inside its own
+	// event loop, so its reader goroutine is live before the adopter sends
+	// stream re-announcements (those sends could otherwise block on a full
+	// link buffer with nobody draining it). Orphan data sent before the
+	// adopter accepts its end just queues in the link — the chan buffer
+	// in-process, the listen backlog's socket buffers on TCP.
+	rw := nw.rewirer
+	offers := make([]transport.Offer, len(orphans))
+	links := make([]transport.Link, len(orphans)) // adopter-side ends
+	reparented := make([]bool, len(orphans))
+	// rollback undoes the view mutation, abandons open offers, and severs
+	// the accepted links if the adopter cannot complete the installation
+	// (e.g. it was killed while this recovery ran), so a later retry
+	// starts from a consistent state and already-reparented orphans fall
+	// back to waiting. The orphan slots are vacated, not removed: a
+	// concurrent attach may have appended further slots whose indices
+	// must not shift.
 	rollback := func() {
-		for i := range links {
+		for i := range orphans {
+			if offers[i] != nil {
+				_ = offers[i].Close()
+			}
 			transport.DropLink(links[i])
-			transport.DropLink(childEnds[i])
 		}
 		nw.mu.Lock()
 		nw.view.dead[failed] = false
@@ -485,24 +539,29 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 		}
 		nw.mu.Unlock()
 	}
-	reparented := make([]bool, len(orphans))
 	for i := range orphans {
+		o, err := rw.Offer()
+		if err != nil {
+			continue // orphan stays orphaned; a later recovery retries
+		}
+		offers[i] = o
 		if on := orphanNodes[i]; on != nil {
-			c := &cmdReparent{link: childEnds[i], reply: make(chan struct{}, 1)}
+			c := &cmdReparent{rw: rw, addr: o.Addr(), reply: make(chan error, 1)}
 			if err := nw.sendNodeCmd(on, c); err == nil {
-				<-c.reply
-				reparented[i] = true
+				if rerr := <-c.reply; rerr == nil {
+					reparented[i] = true
+				}
 			}
 			continue
 		}
-		if ob := orphanBEs[i]; ob != nil {
+		if ob := orphanBEs[i]; ob != nil && !ob.killed() {
 			old := ob.parentLink()
 			select {
-			case ob.reparentCh <- childEnds[i]:
+			case ob.reparentCh <- reparentReq{rw: rw, addr: o.Addr()}:
 				// Sever the old link even if the declared-dead parent is
 				// actually alive (a false-positive detection): the
 				// back-end's Recv then EOFs and it picks up the buffered
-				// replacement. For a real crash this is a no-op.
+				// rendezvous. For a real crash this is a no-op.
 				transport.DropLink(old)
 				reparented[i] = true
 			case <-ob.killCh:
@@ -510,8 +569,39 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 			}
 		}
 	}
+	// Accept the adopter-side end of every replacement link, concurrently
+	// so the bounded waits overlap. Bounded: an orphan that died after the
+	// handoff (an overlapping failure) never redials, and must not wedge
+	// this adoption — after replacementAcceptTimeout (once, not per
+	// orphan) its offer is abandoned and it is treated like any other
+	// unreparented orphan.
+	var acceptWG sync.WaitGroup
+	for i := range orphans {
+		if !reparented[i] {
+			if offers[i] != nil {
+				_ = offers[i].Close()
+				offers[i] = nil
+			}
+			continue
+		}
+		acceptWG.Add(1)
+		go func(i int) {
+			defer acceptWG.Done()
+			l, err := acceptReplacement(offers[i])
+			if err != nil {
+				reparented[i] = false
+				return
+			}
+			links[i] = l
+			nw.metrics.RewiredLinks.Add(1)
+		}(i)
+	}
+	acceptWG.Wait()
+	for i := range offers {
+		offers[i] = nil // accepts consumed (or closed) every open offer
+	}
 
-	// 4. Install the parent-side ends at the adopter: new child slots,
+	// 4. Install the adopter-side ends at the adopter: new child slots,
 	// stream routing/synchronizer rebuild, re-announce, state repair. An
 	// orphan that could not be reparented (itself dead — a cascading
 	// failure) gets no link: its slot stays empty until its own recovery,
@@ -523,10 +613,7 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 		if reparented[i] {
 			liveSlots = append(liveSlots, slots[i])
 			liveLinks = append(liveLinks, links[i])
-			continue
 		}
-		transport.DropLink(links[i])
-		transport.DropLink(childEnds[i])
 	}
 	adopt := &cmdAdopt{
 		deadSlot: deadSlot,

@@ -172,6 +172,18 @@ func (ss *streamState) rebuildSlots(slots []slotInfo) [][]*packet.Packet {
 	return released
 }
 
+// growSlots widens the routing slices to cover child slots up to n-1,
+// marking new slots as non-participating (dynamic attach: existing
+// streams' membership was fixed at creation).
+func (ss *streamState) growSlots(n int) {
+	ss.routeMu.Lock()
+	for len(ss.downChildren) < n {
+		ss.downChildren = append(ss.downChildren, false)
+		ss.upSlot = append(ss.upSlot, -1)
+	}
+	ss.routeMu.Unlock()
+}
+
 // announcePacket rebuilds the opNewStream control message for this stream,
 // used to (re-)establish it in adopted subtrees during recovery.
 func (ss *streamState) announcePacket() *packet.Packet {

@@ -284,22 +284,28 @@ func TestRecoveryStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("got %d rows", len(rows))
+	// One row per (transport, shape): live rewiring runs on both fabrics.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 shapes x 2 fabrics)", len(rows))
 	}
+	seen := map[string]bool{}
 	for _, r := range rows {
+		seen[r.Transport] = true
 		if !r.Correct {
-			t.Errorf("%s: post-recovery reduction incorrect", r.Shape)
+			t.Errorf("%s/%s: post-recovery reduction incorrect", r.Transport, r.Shape)
 		}
 		if r.Detection < cfg.Timeout {
-			t.Errorf("%s: detection %v under the %v timeout", r.Shape, r.Detection, cfg.Timeout)
+			t.Errorf("%s/%s: detection %v under the %v timeout", r.Transport, r.Shape, r.Detection, cfg.Timeout)
 		}
 		if r.Rewire <= 0 || r.Total < r.Detection {
-			t.Errorf("%s: implausible latencies %+v", r.Shape, r)
+			t.Errorf("%s/%s: implausible latencies %+v", r.Transport, r.Shape, r)
 		}
 		if r.Orphans <= 0 {
-			t.Errorf("%s: internal victim %d adopted no orphans", r.Shape, r.Victim)
+			t.Errorf("%s/%s: internal victim %d adopted no orphans", r.Transport, r.Shape, r.Victim)
 		}
+	}
+	if !seen["chan"] || !seen["tcp"] {
+		t.Errorf("fabrics measured = %v, want both chan and tcp", seen)
 	}
 	t.Logf("\n%s", RecoveryTable(rows))
 }

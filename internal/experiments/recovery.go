@@ -17,12 +17,23 @@ import (
 type RecoveryConfig struct {
 	// Shapes are the overlay organizations under test (topology specs).
 	Shapes []string
+	// Transports are the link substrates under test; empty means chan
+	// and TCP (live rewiring is fabric-agnostic, so both are measured).
+	Transports []core.TransportKind
 	// HeartbeatPeriod and Timeout parameterize the failure detector.
 	HeartbeatPeriod time.Duration
 	Timeout         time.Duration
 	// Net is the link-cost model used for the modeled (cluster-scale)
 	// reconnection cost, as in the paper's experiments.
 	Net simnet.Model
+}
+
+// transportName labels a substrate in tables and benchmarks.
+func transportName(kind core.TransportKind) string {
+	if kind == core.TCPTransport {
+		return "tcp"
+	}
+	return "chan"
 }
 
 // DefaultRecoveryConfig covers the paper's organization space — flat-ish,
@@ -34,20 +45,22 @@ func DefaultRecoveryConfig() RecoveryConfig {
 			"kary:2^3", "kary:4^2", "kary:8^2", "kary:2^5",
 			"balanced:64,4", "knomial:2^5",
 		},
+		Transports:      []core.TransportKind{core.ChanTransport, core.TCPTransport},
 		HeartbeatPeriod: 5 * time.Millisecond,
 		Timeout:         50 * time.Millisecond,
 		Net:             simnet.GigE,
 	}
 }
 
-// RecoveryRow is one shape's measurement.
+// RecoveryRow is one (shape, transport) measurement.
 type RecoveryRow struct {
-	Shape   string
-	Nodes   int
-	Leaves  int
-	Depth   int
-	Victim  core.Rank
-	Orphans int
+	Shape     string
+	Transport string
+	Nodes     int
+	Leaves    int
+	Depth     int
+	Victim    core.Rank
+	Orphans   int
 	// Detection is the observed silence when the detector declared the
 	// failure; Rewire the live reconfiguration time; Total their sum.
 	Detection time.Duration
@@ -72,18 +85,23 @@ func RunRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 	if len(cfg.Shapes) == 0 {
 		cfg = DefaultRecoveryConfig()
 	}
+	if len(cfg.Transports) == 0 {
+		cfg.Transports = []core.TransportKind{core.ChanTransport, core.TCPTransport}
+	}
 	var rows []RecoveryRow
-	for _, spec := range cfg.Shapes {
-		row, err := recoverOneShape(cfg, spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: recovery %s: %w", spec, err)
+	for _, tr := range cfg.Transports {
+		for _, spec := range cfg.Shapes {
+			row, err := recoverOneShape(cfg, spec, tr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: recovery %s/%s: %w", transportName(tr), spec, err)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func recoverOneShape(cfg RecoveryConfig, spec string) (RecoveryRow, error) {
+func recoverOneShape(cfg RecoveryConfig, spec string, tr core.TransportKind) (RecoveryRow, error) {
 	tree, err := topology.ParseSpec(spec)
 	if err != nil {
 		return RecoveryRow{}, err
@@ -96,6 +114,7 @@ func recoverOneShape(cfg RecoveryConfig, spec string) (RecoveryRow, error) {
 
 	nw, err := core.NewNetwork(core.Config{
 		Topology:        tree,
+		Transport:       tr,
 		Recoverable:     true,
 		HeartbeatPeriod: cfg.HeartbeatPeriod,
 		OnBackEnd: func(be *core.BackEnd) error {
@@ -167,6 +186,7 @@ func recoverOneShape(cfg RecoveryConfig, spec string) (RecoveryRow, error) {
 	stats := tree.Stats()
 	return RecoveryRow{
 		Shape:            spec,
+		Transport:        transportName(tr),
 		Nodes:            stats.Nodes,
 		Leaves:           stats.Leaves,
 		Depth:            stats.Depth,
@@ -183,11 +203,11 @@ func recoverOneShape(cfg RecoveryConfig, spec string) (RecoveryRow, error) {
 // RecoveryTable renders the study.
 func RecoveryTable(rows []RecoveryRow) string {
 	tb := metrics.NewTable(
-		"T-RECOVERY — Live failure recovery latency vs. tree shape",
-		"shape", "nodes", "leaves", "depth", "victim", "orphans",
+		"T-RECOVERY — Live failure recovery latency vs. tree shape and fabric",
+		"shape", "fabric", "nodes", "leaves", "depth", "victim", "orphans",
 		"detect", "rewire", "total", "modeled-net", "correct")
 	for _, r := range rows {
-		tb.AddRow(r.Shape, r.Nodes, r.Leaves, r.Depth, int(r.Victim), r.Orphans,
+		tb.AddRow(r.Shape, r.Transport, r.Nodes, r.Leaves, r.Depth, int(r.Victim), r.Orphans,
 			r.Detection, r.Rewire, r.Total, r.ModeledReconnect, r.Correct)
 	}
 	return tb.String()

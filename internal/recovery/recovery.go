@@ -20,6 +20,15 @@
 // and then grants the whole overlay a fresh grace period, letting the
 // re-attached subtree's beacons resume before any further verdicts.
 //
+// Recovery is fabric-agnostic: replacement links are minted through the
+// network's transport.Rewirer (the adopter listens, each orphan redials),
+// so the same manager drives live reconfiguration on the in-process chan
+// fabric and on real TCP. Overlapping failures — a second process dying
+// while an adoption is in flight — converge too: an orphan that dies
+// mid-handshake is fenced off (its slot stays empty until its own
+// recovery), and an adopter that dies mid-adoption rolls the adoption
+// back for the detector to redo shallowest-first.
+//
 //	nw, _ := core.NewNetwork(core.Config{
 //	    Topology:        tree,
 //	    Recoverable:     true,
@@ -120,9 +129,6 @@ type Manager struct {
 func New(nw *core.Network, cfg Config) (*Manager, error) {
 	if !nw.Recoverable() {
 		return nil, errors.New("recovery: network not built with core.Config.Recoverable")
-	}
-	if nw.Transport() != core.ChanTransport {
-		return nil, errors.New("recovery: live reconfiguration requires the chan transport")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * nw.HeartbeatPeriod()

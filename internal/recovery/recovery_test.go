@@ -25,12 +25,25 @@ func mustTree(t *testing.T, spec string) *topology.Tree {
 	return tr
 }
 
-// sumEcho builds a recoverable, heartbeating network whose back-ends
-// answer every multicast with their rank.
+// fabrics names both link substrates for table-driven tests.
+var fabrics = map[string]core.TransportKind{
+	"chan": core.ChanTransport,
+	"tcp":  core.TCPTransport,
+}
+
+// sumEcho builds a recoverable, heartbeating chan-fabric network whose
+// back-ends answer every multicast with their rank.
 func sumEcho(t *testing.T, spec string, hb time.Duration) *core.Network {
+	t.Helper()
+	return sumEchoOn(t, spec, hb, core.ChanTransport)
+}
+
+// sumEchoOn is sumEcho on an explicit link fabric.
+func sumEchoOn(t *testing.T, spec string, hb time.Duration, kind core.TransportKind) *core.Network {
 	t.Helper()
 	nw, err := core.NewNetwork(core.Config{
 		Topology:        mustTree(t, spec),
+		Transport:       kind,
 		Recoverable:     true,
 		HeartbeatPeriod: hb,
 		OnBackEnd: func(be *core.BackEnd) error {
@@ -221,13 +234,122 @@ func TestManagerValidation(t *testing.T) {
 		t.Error("timeout under two heartbeat periods: want error")
 	}
 
+	// Live rewiring is fabric-agnostic: a TCP network is a valid manager
+	// target (it used to be rejected as chan-only).
 	tcp, err := core.NewNetwork(core.Config{Topology: mustTree(t, "flat:2"), Recoverable: true, Transport: core.TCPTransport})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tcp.Shutdown()
-	if _, err := New(tcp, Config{Timeout: time.Second}); err == nil {
-		t.Error("TCP transport: want error (live rewiring is chan-only)")
+	if _, err := New(tcp, Config{Timeout: time.Second}); err != nil {
+		t.Errorf("TCP transport: %v, want manager creation to succeed", err)
+	}
+}
+
+// TestManagerAutoRecoversOnTCP: the heartbeat detector and live
+// reconfiguration drive recovery end-to-end over real TCP links.
+func TestManagerAutoRecoversOnTCP(t *testing.T) {
+	nw := sumEchoOn(t, "kary:2^2", 10*time.Millisecond, core.TCPTransport)
+	defer nw.Shutdown()
+	mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(want float64) {
+		t.Helper()
+		if err := st.Multicast(tagQuery, ""); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := p.Float(0); v != want {
+			t.Errorf("sum = %g, want %g", v, want)
+		}
+	}
+	round(18)
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(mgr.Reports()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never recovered the killed node on TCP")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep := mgr.Reports()[0]
+	if rep.Failed != 1 || rep.NewParent != 0 || len(rep.Orphans) != 2 {
+		t.Errorf("report = failed %d, parent %d, orphans %v", rep.Failed, rep.NewParent, rep.Orphans)
+	}
+	for i := 0; i < 3; i++ {
+		round(18)
+	}
+	if nw.Metrics().RewiredLinks.Load() == 0 {
+		t.Error("no replacement links counted on the TCP fabric")
+	}
+}
+
+// TestManagerOverlappingFailures: a child and its parent are killed
+// nearly simultaneously, so the second death lands while the first
+// failure's detection/adoption is in flight. The detector must converge
+// shallowest-first on both fabrics with no back-end lost.
+func TestManagerOverlappingFailures(t *testing.T) {
+	for name, kind := range fabrics {
+		t.Run(name, func(t *testing.T) {
+			nw := sumEchoOn(t, "kary:2^3", 10*time.Millisecond, kind) // 0; 1,2; 3..6; leaves 7..14
+			defer nw.Shutdown()
+			mgr, err := New(nw, Config{Timeout: 150 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mgr.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer mgr.Stop()
+			st, err := nw.NewStream(core.StreamSpec{Transformation: "count", Synchronization: "waitforall"})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Deep node first, then its parent a beat later: both are
+			// silent when the detector wakes, and the parent's death
+			// overlaps whatever recovery the child's silence triggered.
+			if err := nw.Kill(3); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(20 * time.Millisecond)
+			if err := nw.Kill(1); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for len(mgr.Reports()) < 2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("only %d of 2 overlapping failures recovered", len(mgr.Reports()))
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := st.Multicast(tagQuery, ""); err != nil {
+				t.Fatal(err)
+			}
+			p, err := st.RecvTimeout(10 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := p.Int(0); v != 8 {
+				t.Errorf("post-overlap count = %d, want 8 (no back-end lost)", v)
+			}
+		})
 	}
 }
 
@@ -263,7 +385,7 @@ func setFingerprint(s *eqclass.Set) string {
 // accumulates deltas. If kill is non-negative, that rank is crashed
 // mid-stream and the manager must recover it live. Returns the
 // front-end's final accumulated set and the recovery reports.
-func runEqclassWorkload(t *testing.T, spec string, kill core.Rank) (string, []Report) {
+func runEqclassWorkload(t *testing.T, spec string, kind core.TransportKind, kill core.Rank) (string, []Report) {
 	t.Helper()
 	reg := filter.NewRegistry()
 	eqclass.Register(reg)
@@ -283,6 +405,7 @@ func runEqclassWorkload(t *testing.T, spec string, kill core.Rank) (string, []Re
 	nw, err := core.NewNetwork(core.Config{
 		Topology:        tree,
 		Registry:        reg,
+		Transport:       kind,
 		Recoverable:     true,
 		HeartbeatPeriod: 10 * time.Millisecond,
 		OnBackEnd: func(be *core.BackEnd) error {
@@ -371,37 +494,43 @@ func runEqclassWorkload(t *testing.T, spec string, kill core.Rank) (string, []Re
 	return setFingerprint(acc), mgr.Reports()
 }
 
-// TestChaosKillMidStreamMatchesUnfailedRun is the acceptance check:
-// killing a random internal communication process on a running network
-// with an active composable reduction yields the same final reduced
-// result as a run that never failed.
+// TestChaosKillMidStreamMatchesUnfailedRun is the acceptance check, on
+// BOTH fabrics: killing a random internal communication process on a
+// running network with an active composable reduction yields the same
+// final reduced result as a run that never failed. The TCP rows skip
+// under -short; CI runs them full in the soak step under -race.
 func TestChaosKillMidStreamMatchesUnfailedRun(t *testing.T) {
-	for _, spec := range []string{"kary:3^2", "kary:2^3"} {
-		t.Run(spec, func(t *testing.T) {
-			tree := mustTree(t, spec)
-			internals := tree.InternalNodes()
-			victim := internals[rand.Intn(len(internals))]
-
-			clean, cleanReps := runEqclassWorkload(t, spec, -1)
-			if len(cleanReps) != 0 {
-				t.Errorf("unfailed run recovered something: %v", cleanReps)
-			}
-			failed, reps := runEqclassWorkload(t, spec, victim)
-			if failed != clean {
-				t.Errorf("victim %d: failed-run result %q != unfailed %q", victim, failed, clean)
-			}
-			if len(reps) != 1 || reps[0].Failed != victim {
-				t.Fatalf("victim %d: reports = %+v", victim, reps)
-			}
-			// When the orphans are internal processes they carry eqclass
-			// state, and the lost level's state must have been rebuilt by
-			// composition.
-			if len(tree.Children(victim)) > 0 && !tree.Node(tree.Children(victim)[0]).IsLeaf() {
-				if reps[0].StreamsComposed == 0 {
-					t.Error("internal orphans but no stream state composed")
+	for name, kind := range fabrics {
+		for _, spec := range []string{"kary:3^2", "kary:2^3"} {
+			t.Run(name+"/"+spec, func(t *testing.T) {
+				if kind == core.TCPTransport && testing.Short() {
+					t.Skip("TCP chaos runs in the CI soak step")
 				}
-			}
-		})
+				tree := mustTree(t, spec)
+				internals := tree.InternalNodes()
+				victim := internals[rand.Intn(len(internals))]
+
+				clean, cleanReps := runEqclassWorkload(t, spec, kind, -1)
+				if len(cleanReps) != 0 {
+					t.Errorf("unfailed run recovered something: %v", cleanReps)
+				}
+				failed, reps := runEqclassWorkload(t, spec, kind, victim)
+				if failed != clean {
+					t.Errorf("victim %d: failed-run result %q != unfailed %q", victim, failed, clean)
+				}
+				if len(reps) != 1 || reps[0].Failed != victim {
+					t.Fatalf("victim %d: reports = %+v", victim, reps)
+				}
+				// When the orphans are internal processes they carry eqclass
+				// state, and the lost level's state must have been rebuilt by
+				// composition.
+				if len(tree.Children(victim)) > 0 && !tree.Node(tree.Children(victim)[0]).IsLeaf() {
+					if reps[0].StreamsComposed == 0 {
+						t.Error("internal orphans but no stream state composed")
+					}
+				}
+			})
+		}
 	}
 }
 
