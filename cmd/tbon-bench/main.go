@@ -15,7 +15,11 @@
 //	tbon-bench -exp batching      # ablation: egress flush window sweep
 //	tbon-bench -exp all           # everything
 //
-// Sizes are configurable; defaults reproduce the paper's scales.
+// Sizes are configurable; defaults reproduce the paper's scales. With
+// -json the selected experiments emit one machine-readable array of
+// {experiment, recorded_at, gomaxprocs, rows} envelopes on stdout instead
+// of tables — redirect to BENCH_<tag>.json to record the perf trajectory
+// of a change.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|all")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (an array of {experiment, rows} envelopes) instead of tables; record as BENCH_*.json to track the perf trajectory")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
 	daemons := flag.Int("daemons", 0, "startup daemon count (default 512)")
@@ -39,24 +44,41 @@ func main() {
 	batchRounds := flag.Int("batch-rounds", 0, "batching ablation packets per back-end (default 200)")
 	flag.Parse()
 
-	run := func(name string, f func() error) {
+	var reports []experiments.Report
+	// table renders a human-readable table only when someone will see it;
+	// -json runs skip the formatting entirely.
+	table := func(f func() string) string {
+		if *jsonOut {
+			return ""
+		}
+		return f()
+	}
+	// run executes one experiment; f returns the typed result rows (for
+	// -json) and the rendered table (for humans).
+	run := func(name string, f func() (any, string, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := f(); err != nil {
+		rows, table, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "tbon-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			reports = append(reports, experiments.NewReport(name, rows))
+			return
+		}
+		fmt.Println(table)
 	}
 
-	run("fig4", func() error {
+	run("fig4", func() (any, string, error) {
 		cfg := experiments.DefaultFig4Config()
 		if *scales != "" {
 			cfg.Scales = nil
 			for _, f := range strings.Split(*scales, ",") {
 				n, err := strconv.Atoi(strings.TrimSpace(f))
 				if err != nil {
-					return fmt.Errorf("bad -scales: %w", err)
+					return nil, "", fmt.Errorf("bad -scales: %w", err)
 				}
 				cfg.Scales = append(cfg.Scales, n)
 			}
@@ -66,94 +88,85 @@ func main() {
 		}
 		rows, err := experiments.RunFig4(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.Fig4Table(rows))
-		return nil
+		return rows, table(func() string { return experiments.Fig4Table(rows) }), nil
 	})
 
-	run("startup", func() error {
+	run("startup", func() (any, string, error) {
 		cfg := experiments.DefaultStartupConfig()
 		if *daemons > 0 {
 			cfg.Daemons = *daemons
 		}
 		res, err := experiments.RunStartup(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.StartupTable(res))
-		return nil
+		return res, table(func() string { return experiments.StartupTable(res) }), nil
 	})
 
-	run("throughput", func() error {
+	run("throughput", func() (any, string, error) {
 		rows, err := experiments.RunThroughput(experiments.DefaultThroughputConfig())
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.ThroughputTable(rows))
-		return nil
+		return rows, table(func() string { return experiments.ThroughputTable(rows) }), nil
 	})
 
-	run("overhead", func() error {
+	run("overhead", func() (any, string, error) {
 		rows, err := experiments.RunOverhead()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.OverheadTable(rows))
-		return nil
+		return rows, table(func() string { return experiments.OverheadTable(rows) }), nil
 	})
 
-	run("sgfa", func() error {
+	run("sgfa", func() (any, string, error) {
 		cfg := experiments.DefaultSGFAConfig()
 		if *sgfaLeaves > 0 {
 			cfg.Leaves = *sgfaLeaves
 		}
 		res, err := experiments.RunSGFA(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.SGFATable(res))
-		return nil
+		return res, table(func() string { return experiments.SGFATable(res) }), nil
 	})
 
-	run("fanout", func() error {
+	run("fanout", func() (any, string, error) {
 		cfg := experiments.DefaultFanOutSweepConfig()
 		rows, err := experiments.RunFanOutSweep(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.FanOutTable(cfg.Leaves, rows))
-		return nil
+		return rows, table(func() string { return experiments.FanOutTable(cfg.Leaves, rows) }), nil
 	})
 
-	run("sync", func() error {
+	run("sync", func() (any, string, error) {
 		rows, err := experiments.RunSyncPolicyAblation(16, 300*time.Millisecond)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.SyncPolicyTable(rows))
-		return nil
+		return rows, table(func() string { return experiments.SyncPolicyTable(rows) }), nil
 	})
 
-	run("transport", func() error {
+	run("transport", func() (any, string, error) {
 		rows, err := experiments.RunTransportAblation(32, 20)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.TransportTable(32, rows))
-		return nil
+		return rows, table(func() string { return experiments.TransportTable(32, rows) }), nil
 	})
 
-	run("recovery", func() error {
+	run("recovery", func() (any, string, error) {
 		rows, err := experiments.RunRecovery(experiments.DefaultRecoveryConfig())
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RecoveryTable(rows))
-		return nil
+		return rows, table(func() string { return experiments.RecoveryTable(rows) }), nil
 	})
 
-	run("batching", func() error {
+	run("batching", func() (any, string, error) {
 		cfg := experiments.DefaultBatchingConfig()
 		if *batchLeaves > 0 {
 			cfg.Leaves = *batchLeaves
@@ -163,9 +176,15 @@ func main() {
 		}
 		rows, err := experiments.RunBatching(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.BatchingTable(cfg, rows))
-		return nil
+		return rows, table(func() string { return experiments.BatchingTable(cfg, rows) }), nil
 	})
+
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "tbon-bench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

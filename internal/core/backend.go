@@ -31,12 +31,11 @@ type BackEnd struct {
 	killCh   chan struct{}
 	killOnce sync.Once
 
-	// egMu guards the upstream egress queue, shared between the handler
-	// goroutine (Send) and the link loop (age flushes, reparent, drain).
-	// eg is nil when batching is disabled. egKick wakes the age flusher
-	// when the queue transitions empty -> non-empty, so an idle back-end
-	// costs no timer traffic at all.
-	egMu   sync.Mutex
+	// eg is the upstream egress queue, shared between the handler goroutine
+	// (Send) and the link loop (age flushes, reparent, drain); the queue
+	// serializes internally. It is nil when batching is disabled. egKick
+	// wakes the age flusher when the queue transitions empty -> non-empty,
+	// so an idle back-end costs no timer traffic at all.
 	eg     *egressQueue
 	egKick chan struct{}
 }
@@ -51,8 +50,8 @@ func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
 		killCh:     make(chan struct{}),
 	}
 	if nw.cfg.Batch.enabled() {
-		be.eg = newEgressQueue(ep.Parent, nw.cfg.Batch, &nw.metrics, nw.recoverable())
 		be.egKick = make(chan struct{}, 1)
+		be.eg = newEgressQueue(ep.Parent, nw.cfg.Batch, &nw.metrics, nw.recoverable(), kickFunc(be.egKick))
 	}
 	return be
 }
@@ -124,18 +123,8 @@ func (be *BackEnd) SendPacket(p *packet.Packet) error {
 		}
 		return nil
 	}
-	be.egMu.Lock()
-	wasEmpty := len(be.eg.buf) == 0
 	err := be.eg.send(p)
-	kick := wasEmpty && len(be.eg.buf) > 0
 	retained := err != nil && be.eg.retain && !be.killed() && !be.nw.tearingDown()
-	be.egMu.Unlock()
-	if kick {
-		select {
-		case be.egKick <- struct{}{}:
-		default:
-		}
-	}
 	if err != nil && !retained {
 		return fmt.Errorf("core: back-end %d send: %w", be.rank, err)
 	}
@@ -152,9 +141,7 @@ func (be *BackEnd) Flush() error {
 	if be.eg == nil {
 		return nil
 	}
-	be.egMu.Lock()
-	defer be.egMu.Unlock()
-	return be.eg.flush(flushDrain)
+	return be.eg.drain()
 }
 
 // ageFlusher enforces the egress age bound: woken by the first enqueue,
@@ -186,9 +173,7 @@ func (be *BackEnd) ageFlusher(stop <-chan struct{}) {
 		case <-be.egKick:
 		}
 		for {
-			be.egMu.Lock()
 			d := be.eg.deadline()
-			be.egMu.Unlock()
 			if d.IsZero() {
 				break // queue drained; wait for the next kick
 			}
@@ -206,9 +191,7 @@ func (be *BackEnd) ageFlusher(stop <-chan struct{}) {
 				case <-timer.C:
 				}
 			}
-			be.egMu.Lock()
 			be.eg.pollAge(time.Now())
-			be.egMu.Unlock()
 		}
 	}
 }
@@ -258,9 +241,7 @@ loop:
 						// Repoint the egress queue and re-flush anything
 						// retained across the dead parent: accepted
 						// packets survive the failure.
-						be.egMu.Lock()
 						be.eg.setLink(l)
-						be.egMu.Unlock()
 					}
 					continue
 				case <-be.nw.dying:
@@ -293,9 +274,7 @@ loop:
 	// The handler has returned: flush whatever its last sends left queued
 	// before the link closes, so no packet is stranded at shutdown.
 	if be.eg != nil && !be.killed() {
-		be.egMu.Lock()
-		be.eg.drain()
-		be.egMu.Unlock()
+		_ = be.eg.drain()
 	}
 	_ = be.parentLink().Close()
 }

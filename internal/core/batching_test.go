@@ -199,49 +199,49 @@ type soakResult struct {
 
 // runSoak streams rounds of data over several concurrent streams — sum
 // reductions plus an eqclass stream — across the given overlay shape and
-// returns everything the front-end observed.
-func runSoak(t *testing.T, shape string, sumStreams, rounds int, batch BatchPolicy) soakResult {
+// returns everything the front-end observed. cfg supplies the engine
+// parameters under comparison (batching policy, shard count, transport);
+// its Topology, Registry, and OnBackEnd are set here.
+func runSoak(t *testing.T, shape string, sumStreams, rounds int, cfg Config) soakResult {
 	t.Helper()
 	tree := mustTree(t, shape)
 	reg := filter.NewRegistry()
 	eqclass.Register(reg)
-	nw, err := NewNetwork(Config{
-		Topology: tree,
-		Registry: reg,
-		Batch:    batch,
-		OnBackEnd: func(be *BackEnd) error {
-			for {
-				p, err := be.Recv()
-				if err != nil {
-					return nil
-				}
-				if p.Tag == tagQuery {
-					// Reduction stream: one response per round, a value
-					// derived from rank and round.
-					r, err := p.Int(0)
-					if err != nil {
-						return err
-					}
-					v := float64(be.Rank())*1e-3 + float64(r)
-					if err := be.Send(p.StreamID, p.Tag, "%f", v); err != nil {
-						return err
-					}
-					continue
-				}
-				// Eqclass stream: one pair shared across many ranks (the
-				// suppression case — the tree forwards it once per level,
-				// not once per daemon) and one unique pair per rank.
-				set := soakClassSet(be.Rank())
-				rp, err := set.ToPacket(p.Tag, p.StreamID, be.Rank())
-				if err != nil {
-					return err
-				}
-				if err := be.SendPacket(rp); err != nil {
-					return err
-				}
+	cfg.Topology = tree
+	cfg.Registry = reg
+	cfg.OnBackEnd = func(be *BackEnd) error {
+		for {
+			p, err := be.Recv()
+			if err != nil {
+				return nil
 			}
-		},
-	})
+			if p.Tag == tagQuery {
+				// Reduction stream: one response per round, a value
+				// derived from rank and round.
+				r, err := p.Int(0)
+				if err != nil {
+					return err
+				}
+				v := float64(be.Rank())*1e-3 + float64(r)
+				if err := be.Send(p.StreamID, p.Tag, "%f", v); err != nil {
+					return err
+				}
+				continue
+			}
+			// Eqclass stream: one pair shared across many ranks (the
+			// suppression case — the tree forwards it once per level,
+			// not once per daemon) and one unique pair per rank.
+			set := soakClassSet(be.Rank())
+			rp, err := set.ToPacket(p.Tag, p.StreamID, be.Rank())
+			if err != nil {
+				return err
+			}
+			if err := be.SendPacket(rp); err != nil {
+				return err
+			}
+		}
+	}
+	nw, err := NewNetwork(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,40 +367,48 @@ func TestSoakBatchingEquivalence(t *testing.T) {
 			}
 			t.Logf("%s: %d leaves × %d streams × %d rounds = %d packets (+%d eqclass)",
 				shape, leaves, sumStreams, rounds, leaves*sumStreams*rounds, leaves)
-			off := runSoak(t, shape, sumStreams, rounds, BatchPolicy{})
-			on := runSoak(t, shape, sumStreams, rounds, BatchPolicy{
+			off := runSoak(t, shape, sumStreams, rounds, Config{})
+			on := runSoak(t, shape, sumStreams, rounds, Config{Batch: BatchPolicy{
 				MaxBatch: 32, MaxDelay: 2 * time.Millisecond, Adaptive: true,
-			})
+			}})
 			if t.Failed() {
 				return
 			}
-			for s := 0; s < sumStreams; s++ {
-				offS, onS := off.sums[s], on.sums[s]
-				if len(offS) != len(onS) {
-					t.Fatalf("stream %d: %d deliveries off vs %d on", s, len(offS), len(onS))
-				}
-				for r := range offS {
-					if offS[r] != onS[r] {
-						t.Errorf("stream %d round %d: sum %v off vs %v on", s, r, offS[r], onS[r])
-					}
-				}
-			}
-			if len(off.classes) != len(on.classes) {
-				t.Fatalf("eqclass: %d classes off vs %d on", len(off.classes), len(on.classes))
-			}
-			for k, offMembers := range off.classes {
-				onMembers := on.classes[k]
-				if len(offMembers) != len(onMembers) {
-					t.Errorf("class %s: %d members off vs %d on", k, len(offMembers), len(onMembers))
-					continue
-				}
-				for m := range offMembers {
-					if !onMembers[m] {
-						t.Errorf("class %s member %d present off, missing on", k, m)
-					}
-				}
-			}
+			compareSoaks(t, off, on, sumStreams)
 		})
+	}
+}
+
+// compareSoaks asserts two soak runs are eqclass-identical: identical
+// per-round reduction sequences per stream and identical equivalence-class
+// sets. "off" names the baseline run, "on" the run under test.
+func compareSoaks(t *testing.T, off, on soakResult, sumStreams int) {
+	t.Helper()
+	for s := 0; s < sumStreams; s++ {
+		offS, onS := off.sums[s], on.sums[s]
+		if len(offS) != len(onS) {
+			t.Fatalf("stream %d: %d deliveries off vs %d on", s, len(offS), len(onS))
+		}
+		for r := range offS {
+			if offS[r] != onS[r] {
+				t.Errorf("stream %d round %d: sum %v off vs %v on", s, r, offS[r], onS[r])
+			}
+		}
+	}
+	if len(off.classes) != len(on.classes) {
+		t.Fatalf("eqclass: %d classes off vs %d on", len(off.classes), len(on.classes))
+	}
+	for k, offMembers := range off.classes {
+		onMembers := on.classes[k]
+		if len(offMembers) != len(onMembers) {
+			t.Errorf("class %s: %d members off vs %d on", k, len(offMembers), len(onMembers))
+			continue
+		}
+		for m := range offMembers {
+			if !onMembers[m] {
+				t.Errorf("class %s member %d present off, missing on", k, m)
+			}
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,13 @@ type Config struct {
 	// zero value disables batching: every send is one link operation, the
 	// pre-batching behavior.
 	Batch BatchPolicy
+	// Shards sets how many per-stream pipeline workers each routing
+	// process (the front-end and every internal node) runs: streams hash
+	// to shards, so distinct streams synchronize, transform, and egress
+	// concurrently while each stream stays strictly FIFO on its own shard.
+	// 0 selects GOMAXPROCS; 1 serializes every stream through one worker,
+	// the pre-sharding pipeline order (the ablation baseline).
+	Shards int
 	// Recoverable makes subtrees orphaned by a crashed parent survive and
 	// await grandparent adoption (Adopt / internal/recovery) instead of
 	// abandoning ship. Without it a parent crash tears the subtree down,
@@ -101,6 +109,10 @@ type Metrics struct {
 	PacketsDown  atomic.Int64 // downstream data packets entering nodes
 	Batches      atomic.Int64 // synchronizer batches transformed
 	FilterErrors atomic.Int64 // transformation errors (packets dropped)
+
+	// Stream-sharded data plane observability.
+	ShardDispatches atomic.Int64 // work items routed to pipeline shards
+	ShardInline     atomic.Int64 // runs executed on the router's inline fast path
 
 	// Egress batching observability.
 	PacketsQueued   atomic.Int64 // packets accepted by egress queues
@@ -211,7 +223,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 		bes:      map[Rank]*BackEnd{},
 		lastHB:   map[Rank]time.Time{},
 	}
-	nw.fe = &feState{nw: nw, ep: eps[0], cmdCh: make(chan *cmdAdopt), attachCh: make(chan attachMsg)}
+	nw.fe = &feState{
+		nw:       nw,
+		ep:       eps[0],
+		cmdCh:    make(chan *cmdAdopt),
+		attachCh: make(chan attachMsg),
+		readStop: make(chan struct{}),
+	}
+	// The front-end's shard pool exists before any user-facing API call:
+	// Stream.Close enqueues forget items from user goroutines.
+	nw.fe.shards = newShardPool(nw.shardCount(), nw.fe, &nw.metrics)
 
 	// Start communication processes and back-ends.
 	for r := 1; r < cfg.Topology.Len(); r++ {
@@ -257,6 +278,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nw.fe.run()
 	}()
 	return nw, nil
+}
+
+// shardCount resolves Config.Shards: 0 means one pipeline worker per
+// available core, so internal-node filter throughput scales with the
+// machine by default.
+func (nw *Network) shardCount() int {
+	if nw.cfg.Shards > 0 {
+		return nw.cfg.Shards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Tree returns the network's topology.

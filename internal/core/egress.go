@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/packet"
@@ -71,9 +72,13 @@ const (
 	flushDrain
 )
 
-// egressQueue batches outbound packets for one link. It is not safe for
-// concurrent use: each queue is owned by a single goroutine (a node's
-// event loop, or a back-end under its own lock).
+// egressQueue batches outbound packets for one link. It is safe for
+// concurrent use: the stream-sharded data plane has several pipeline
+// workers plus the owning router feeding the same link, so every operation
+// serializes on the queue's own mutex. FIFO order within the queue is the
+// lock-acquisition order, which is what preserves per-stream FIFO (each
+// stream has exactly one worker) and keeps control packets behind data the
+// router already accepted.
 type egressQueue struct {
 	link transport.Link
 	pol  BatchPolicy
@@ -83,7 +88,13 @@ type egressQueue struct {
 	// networks); without it a failed flush drops the buffer, the
 	// pre-batching loss behavior.
 	retain bool
+	// kick, if non-nil, is called (without mu) whenever the buffer
+	// transitions empty -> non-empty: the queue now has an age deadline
+	// that the owner's timer loop needs to learn about, since the enqueue
+	// may have come from a shard worker the owner cannot observe.
+	kick func()
 
+	mu     sync.Mutex
 	buf    []*packet.Packet
 	bytes  int // Σ encoded payload bytes queued, for the frame byte bound
 	oldest time.Time
@@ -94,9 +105,20 @@ type egressQueue struct {
 	localHW int
 }
 
+// kickFunc returns a non-blocking notifier for ch — the egress queues'
+// empty -> non-empty wakeup toward their owner's timer loop.
+func kickFunc(ch chan struct{}) func() {
+	return func() {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // newEgressQueue wraps a link with the given (already normalized) policy.
-func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool) *egressQueue {
-	q := &egressQueue{link: l, pol: pol, m: m, retain: retain, window: pol.MaxBatch}
+func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool, kick func()) *egressQueue {
+	q := &egressQueue{link: l, pol: pol, m: m, retain: retain, kick: kick, window: pol.MaxBatch}
 	if pol.Adaptive {
 		q.window = 2
 		if q.window > pol.MaxBatch {
@@ -111,15 +133,30 @@ func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool) 
 // forwards directly to the link.
 func (q *egressQueue) send(p *packet.Packet) error {
 	if !q.pol.enabled() {
+		// Lock-free link read: q.link changes only before the queue is
+		// shared or while the owner's shards are quiesced (setLink during
+		// reparent), so no sender can observe the swap mid-flight.
 		return q.link.Send(p)
 	}
+	q.mu.Lock()
+	wasEmpty := len(q.buf) == 0
+	err := q.sendLocked(p)
+	kick := q.kick != nil && wasEmpty && len(q.buf) > 0
+	q.mu.Unlock()
+	if kick {
+		q.kick()
+	}
+	return err
+}
+
+func (q *egressQueue) sendLocked(p *packet.Packet) error {
 	sz := p.EncodedSize()
 	if len(q.buf) > 0 && q.bytes+sz > maxEgressFrameBytes {
 		// Individually legal packets must never combine into a frame the
 		// receiver would reject (bytes tracks per-packet framing overhead
 		// too, keeping the body within packet.MaxFrameBody): flush what
 		// is queued, then batch on.
-		_ = q.flush(flushSize)
+		_ = q.flushLocked(flushSize)
 	}
 	if len(q.buf) == 0 {
 		q.oldest = time.Now()
@@ -132,7 +169,7 @@ func (q *egressQueue) send(p *packet.Packet) error {
 		q.noteDepth(q.localHW)
 	}
 	if len(q.buf) >= q.window {
-		return q.flush(flushSize)
+		return q.flushLocked(flushSize)
 	}
 	return nil
 }
@@ -144,17 +181,25 @@ func (q *egressQueue) sendNow(p *packet.Packet) error {
 	if !q.pol.enabled() {
 		return q.link.Send(p)
 	}
+	q.mu.Lock()
+	wasEmpty := len(q.buf) == 0
 	q.buf = append(q.buf, p)
 	q.bytes += p.EncodedSize() + 4
 	q.m.PacketsQueued.Add(1)
-	return q.flush(flushControl)
+	err := q.flushLocked(flushControl)
+	kick := q.kick != nil && wasEmpty && len(q.buf) > 0
+	q.mu.Unlock()
+	if kick {
+		q.kick()
+	}
+	return err
 }
 
-// flush sends the buffered batch, split into as many frames as the wire's
-// byte bound demands (one in the common case). On failure the unsent
+// flushLocked sends the buffered batch, split into as many frames as the
+// wire's byte bound demands (one in the common case). On failure the unsent
 // remainder is retained (recoverable owners) or dropped, and the error is
-// returned.
-func (q *egressQueue) flush(cause int) error {
+// returned. Callers hold mu.
+func (q *egressQueue) flushLocked(cause int) error {
 	if len(q.buf) == 0 {
 		return nil
 	}
@@ -257,7 +302,12 @@ func (q *egressQueue) adapt(cause int) {
 // deadline returns when the oldest queued packet must be age-flushed, or
 // the zero time when the queue is empty.
 func (q *egressQueue) deadline() time.Time {
-	if q == nil || len(q.buf) == 0 {
+	if q == nil {
+		return time.Time{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
 		return time.Time{}
 	}
 	return q.oldest.Add(q.pol.MaxDelay)
@@ -265,27 +315,42 @@ func (q *egressQueue) deadline() time.Time {
 
 // pollAge flushes the queue if its age deadline has passed.
 func (q *egressQueue) pollAge(now time.Time) {
-	if q == nil || len(q.buf) == 0 || now.Before(q.oldest.Add(q.pol.MaxDelay)) {
-		return
-	}
-	_ = q.flush(flushAge)
-}
-
-// drain force-flushes everything queued (shutdown, reparent).
-func (q *egressQueue) drain() {
 	if q == nil {
 		return
 	}
-	_ = q.flush(flushDrain)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 || now.Before(q.oldest.Add(q.pol.MaxDelay)) {
+		return
+	}
+	_ = q.flushLocked(flushAge)
+}
+
+// drain force-flushes everything queued (shutdown, reparent, Flush).
+func (q *egressQueue) drain() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.flushLocked(flushDrain)
 }
 
 // setLink repoints the queue at a replacement link (recovery reparenting)
-// and re-flushes anything retained across the old link's death.
+// and re-flushes anything retained across the old link's death. If the
+// re-flush fails again the buffer stays retained, so the owner is kicked
+// to re-arm its age timer for the retry.
 func (q *egressQueue) setLink(l transport.Link) {
+	q.mu.Lock()
 	q.link = l
 	if len(q.buf) > 0 {
 		q.oldest = time.Now()
-		_ = q.flush(flushDrain)
+		_ = q.flushLocked(flushDrain)
+	}
+	kick := q.kick != nil && len(q.buf) > 0
+	q.mu.Unlock()
+	if kick {
+		q.kick()
 	}
 }
 
@@ -294,10 +359,23 @@ func (q *egressQueue) clear() {
 	if q == nil {
 		return
 	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if len(q.buf) > 0 {
 		q.m.EgressDrops.Add(int64(len(q.buf)))
 		q.buf = nil
+		q.bytes = 0
 	}
+}
+
+// pending reports how many packets are queued (tests, backpressure probes).
+func (q *egressQueue) pending() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
 }
 
 // noteDepth maintains the high-water depth gauge.

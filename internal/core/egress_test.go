@@ -44,7 +44,7 @@ func TestAdaptiveWindowUnchangedOnFailedFlush(t *testing.T) {
 	a, b := transport.NewPair(4)
 	pol := BatchPolicy{MaxBatch: 8, MaxDelay: time.Millisecond, Adaptive: true}.normalized()
 	var m Metrics
-	q := newEgressQueue(a, pol, &m, true)
+	q := newEgressQueue(a, pol, &m, true, nil)
 	if q.window != 2 {
 		t.Fatalf("adaptive start window = %d, want 2", q.window)
 	}
@@ -103,7 +103,7 @@ func TestControlKeepsFIFOAcrossFrameSplit(t *testing.T) {
 	a, b := transport.NewPair(64)
 	pol := BatchPolicy{MaxBatch: 1 << 16, MaxDelay: time.Hour}.normalized()
 	var m Metrics
-	q := newEgressQueue(a, pol, &m, false)
+	q := newEgressQueue(a, pol, &m, false, nil)
 
 	payload := strings.Repeat("x", 512)
 	const data = 7 // ~3.6 KiB encoded: just under the shrunk frame bound
@@ -149,7 +149,7 @@ func TestRetainedReflushSplitsKeepFIFO(t *testing.T) {
 	a, b := transport.NewPair(64)
 	pol := BatchPolicy{MaxBatch: 1 << 16, MaxDelay: time.Hour}.normalized()
 	var m Metrics
-	q := newEgressQueue(a, pol, &m, true)
+	q := newEgressQueue(a, pol, &m, true, nil)
 	transport.DropLink(b)
 
 	payload := strings.Repeat("y", 512)
@@ -213,9 +213,7 @@ func TestAgeFlusherRapidStartStop(t *testing.T) {
 			be.ageFlusher(stop)
 			close(done)
 		}()
-		be.egMu.Lock()
 		_ = be.eg.send(packet.MustNew(tagQuery, 1, 1, "%d", int64(i)))
-		be.egMu.Unlock()
 		select {
 		case be.egKick <- struct{}{}:
 		default:
@@ -231,9 +229,7 @@ func TestAgeFlusherRapidStartStop(t *testing.T) {
 	// once the real flusher (started by be.run) is the only one standing.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		be.egMu.Lock()
-		n := len(be.eg.buf)
-		be.egMu.Unlock()
+		n := be.eg.pending()
 		if n == 0 {
 			break
 		}

@@ -12,14 +12,31 @@ import (
 )
 
 // feState is the front-end's half of the overlay: it owns the root's links,
-// runs the root's receive loop (the last level of filtering), and delivers
-// fully reduced packets to Stream receivers.
+// runs the root's receive ROUTER (per-link FIFO ingress, control, adoption
+// and attach commands), and dispatches data runs to per-stream pipeline
+// shards where the last level of filtering executes before results are
+// handed to Stream receivers.
 type feState struct {
 	nw *Network
 	ep *transport.Endpoint
 
 	mu     sync.Mutex // guards states; written by NewStream, read by run loop
 	states map[uint32]*streamState
+	// stateCount mirrors len(states) for the lock-free backlog check on
+	// the per-run dispatch path.
+	stateCount atomic.Int32
+
+	// shards runs the root-level filter pipelines. The router is the only
+	// data dispatcher; user goroutines only enqueue forget items
+	// (Stream.Close trimming a shard's poll set).
+	shards *shardPool
+	// readStop is closed when the router exits, releasing any readLink
+	// goroutine still blocked handing a frame to the abandoned inbox.
+	readStop chan struct{}
+
+	// inbox is the router's ingress channel (set by run); its backlog is
+	// the pressure signal that decides inline execution vs shard dispatch.
+	inbox chan inMsg
 
 	// epMu guards ep.Children, which recovery grows when the front-end
 	// adopts the orphans of a failed child; Multicast and NewStream read
@@ -51,13 +68,30 @@ func (fe *feState) setState(id uint32, ss *streamState) {
 	if fe.states == nil {
 		fe.states = map[uint32]*streamState{}
 	}
+	if _, exists := fe.states[id]; !exists {
+		fe.stateCount.Add(1)
+	}
 	fe.states[id] = ss
 }
 
 func (fe *feState) dropState(id uint32) {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
+	if _, exists := fe.states[id]; exists {
+		fe.stateCount.Add(-1)
+	}
 	delete(fe.states, id)
+}
+
+// snapshotStates returns the current stream states as a slice.
+func (fe *feState) snapshotStates() []*streamState {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	states := make([]*streamState, 0, len(fe.states))
+	for _, ss := range fe.states {
+		states = append(states, ss)
+	}
+	return states
 }
 
 // childLinks returns the front-end's child link slots. The slice is
@@ -121,34 +155,23 @@ func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
 	return first
 }
 
-// run is the front-end receive loop: the root-level synchronizer and
-// transformation execute here, and results are handed to Stream.Recv.
+// run is the front-end router loop: it keeps per-link FIFO ingress order,
+// notes heartbeats, applies adoptions and attachments, and dispatches data
+// runs to the stream's pipeline shard, where the root-level synchronizer
+// and transformation execute and results are handed to Stream.Recv.
 func (fe *feState) run() {
 	inbox := make(chan inMsg, 4*(len(fe.ep.Children)+1))
+	fe.inbox = inbox
+	defer func() {
+		close(fe.readStop)
+		fe.shards.abort()
+	}()
 	for i, c := range fe.ep.Children {
-		go readLink(c, i, inbox)
+		go readLink(c, i, inbox, fe.readStop)
 	}
 	live := len(fe.ep.Children)
-	fast := 0
 loop:
 	for {
-		// Fast path: drain ready frames without the deadline scan and
-		// timer allocation; the iteration cap bounds how long a busy inbox
-		// can defer timers and adoption commands.
-		if live > 0 && fast < 1024 {
-			select {
-			case m := <-inbox:
-				fast++
-				if m.ps == nil {
-					live--
-					continue
-				}
-				fe.handleUp(m.child, m.ps)
-				continue
-			default:
-			}
-		}
-		fast = 0
 		if live <= 0 {
 			// On a recoverable network all children being gone may just
 			// mean every root child crashed at once: stay up, the
@@ -159,57 +182,30 @@ loop:
 			select {
 			case c := <-fe.cmdCh:
 				live += fe.handleAdopt(c, inbox)
-				continue
 			case a := <-fe.attachCh:
 				live += fe.handleAttach(a, inbox)
-				continue
 			case <-fe.nw.dying:
 				break loop
 			}
-		}
-		var timer *time.Timer
-		var timerC <-chan time.Time
-		if d := fe.earliestDeadline(); !d.IsZero() {
-			wait := time.Until(d)
-			if wait <= 0 {
-				fe.pollStreams()
-				continue
-			}
-			timer = time.NewTimer(wait)
-			timerC = timer.C
+			continue
 		}
 		select {
 		case m := <-inbox:
-			if timer != nil {
-				timer.Stop()
-			}
 			if m.ps == nil {
 				live--
 				continue
 			}
 			fe.handleUp(m.child, m.ps)
 		case c := <-fe.cmdCh:
-			if timer != nil {
-				timer.Stop()
-			}
 			live += fe.handleAdopt(c, inbox)
 		case a := <-fe.attachCh:
-			if timer != nil {
-				timer.Stop()
-			}
 			live += fe.handleAttach(a, inbox)
-		case <-timerC:
-			fe.pollStreams()
 		}
 	}
-	// All children gone: final drain so no synchronized data is lost.
-	fe.mu.Lock()
-	states := make([]*streamState, 0, len(fe.states))
-	for _, ss := range fe.states {
-		states = append(states, ss)
-	}
-	fe.mu.Unlock()
-	for _, ss := range states {
+	// All children gone: retire the shards (completing everything already
+	// dispatched), then final-drain so no synchronized data is lost.
+	fe.shards.drainStop()
+	for _, ss := range fe.snapshotStates() {
 		fe.flushBatches(ss, ss.drain())
 	}
 }
@@ -218,14 +214,13 @@ loop:
 // grandparent of the failed child's orphans. It returns the number of new
 // live child links.
 func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
-	fe.mu.Lock()
-	states := make([]*streamState, 0, len(fe.states))
-	for _, ss := range fe.states {
-		states = append(states, ss)
-	}
-	fe.mu.Unlock()
+	states := fe.snapshotStates()
 	fe.adoptSeq.Add(1) // odd: rewiring in progress
-	applyAdoption(c, fe.ep, fe.nw.registry, fe.installChild, states, fe.flushBatches, inbox)
+	// Park the pipeline shards: applyAdoption rebuilds synchronizers and
+	// replays composed state through filters the workers otherwise own.
+	fe.shards.quiesce(func() {
+		applyAdoption(c, fe.ep, fe.nw.registry, fe.installChild, states, fe.flushBatches, inbox, fe.readStop)
+	})
 	fe.adoptSeq.Add(1) // even again: links and routing consistent
 	c.reply <- nil
 	return len(c.links)
@@ -236,19 +231,14 @@ func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
 // routing process). Existing streams do not include the newcomer; their
 // routing slices just widen. Returns the number of new live child links.
 func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
-	fe.mu.Lock()
-	states := make([]*streamState, 0, len(fe.states))
-	for _, ss := range fe.states {
-		states = append(states, ss)
-	}
-	fe.mu.Unlock()
+	states := fe.snapshotStates()
 	fe.adoptSeq.Add(1) // odd: rewiring in progress
 	fe.installChild(a.slot, a.link)
 	for _, ss := range states {
 		ss.growSlots(a.slot + 1)
 	}
 	fe.adoptSeq.Add(1) // even again: links and routing consistent
-	go readLink(a.link, a.slot, inbox)
+	go readLink(a.link, a.slot, inbox, fe.readStop)
 	if fe.nw.tearingDown() {
 		// The newcomer raced a shutdown whose announcement sweep may have
 		// snapshotted the links before this install: pass the
@@ -258,9 +248,10 @@ func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
 	return 1
 }
 
-// handleUp processes one upstream frame, feeding maximal same-stream runs
-// of data packets to the stream's synchronizer in one call; control
-// packets break runs so per-link FIFO semantics are preserved.
+// handleUp walks one upstream frame in arrival order, dispatching maximal
+// same-stream runs of data packets to the stream's pipeline shard; control
+// packets break runs, and a stream's runs land in one shard's FIFO
+// mailbox, so per-link, per-stream FIFO semantics are preserved.
 func (fe *feState) handleUp(child int, ps []*packet.Packet) {
 	for i := 0; i < len(ps); {
 		p := ps[i]
@@ -283,8 +274,37 @@ func (fe *feState) handleUp(child int, ps []*packet.Packet) {
 			// receiver.
 			continue
 		}
-		fe.flushBatches(ss, ss.addBatch(child, run))
+		fe.shards.up(ss, child, run, fe.backlogged())
 	}
+}
+
+// backlogged mirrors node.backlogged at the root: dispatch to workers only
+// when several streams are live and frames are already waiting.
+func (fe *feState) backlogged() bool {
+	return fe.stateCount.Load() > 1 && len(fe.inbox) > 0
+}
+
+// shardUp runs the root-level pipeline for one run. Called from the
+// stream's shard worker.
+func (fe *feState) shardUp(ss *streamState, child int, run []*packet.Packet) {
+	fe.flushBatches(ss, ss.addBatch(child, run))
+}
+
+// shardUpRaw is unused at the root: unknown streams are dropped by the
+// router before dispatch.
+func (fe *feState) shardUpRaw([]*packet.Packet) {}
+
+// shardDown is unused at the root: the front-end originates downstream
+// traffic, it never routes it.
+func (fe *feState) shardDown(*streamState, *packet.Packet) {}
+
+// shardClose is unused at the root: Stream.Close tears down via control
+// multicast plus a forget item.
+func (fe *feState) shardClose(*streamState, *packet.Packet) {}
+
+// shardPoll releases a stream's time-triggered batches.
+func (fe *feState) shardPoll(ss *streamState, now time.Time) {
+	fe.flushBatches(ss, ss.poll(now))
 }
 
 func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
@@ -308,29 +328,4 @@ func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 			st.deliver(q.WithStreamSrc(ss.id, 0))
 		}
 	}
-}
-
-func (fe *feState) pollStreams() {
-	now := time.Now()
-	fe.mu.Lock()
-	states := make([]*streamState, 0, len(fe.states))
-	for _, ss := range fe.states {
-		states = append(states, ss)
-	}
-	fe.mu.Unlock()
-	for _, ss := range states {
-		fe.flushBatches(ss, ss.poll(now))
-	}
-}
-
-func (fe *feState) earliestDeadline() time.Time {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	var d time.Time
-	for _, ss := range fe.states {
-		if dd := ss.deadline(); !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
-			d = dd
-		}
-	}
-	return d
 }

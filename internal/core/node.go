@@ -25,7 +25,10 @@ type attachMsg struct {
 }
 
 // node is a communication process (or the shell around a back-end, which
-// has its own loop in backend.go).
+// has its own loop in backend.go). Its run loop is the control-plane
+// ROUTER of the stream-sharded data plane (see shard.go): it owns links,
+// reader goroutines, the streams table, control packets, and recovery
+// commands, and dispatches data-packet runs to per-stream pipeline shards.
 type node struct {
 	nw   *Network
 	rank Rank
@@ -37,9 +40,24 @@ type node struct {
 	shuttingDown bool
 	liveChildren int
 
-	// Egress queues, one per link, owned by the event loop. parentOut
-	// retains its buffer across a dead parent link on recoverable
-	// networks so the packets survive until reparenting.
+	// shards runs this node's filter pipelines; owned by the router, which
+	// is the only dispatcher.
+	shards *shardPool
+	// readStop is closed when the router exits, releasing any readLink
+	// goroutine still blocked handing a frame to the abandoned inbox.
+	readStop chan struct{}
+	// egKick wakes the router's timer loop when a shard's enqueue gives an
+	// egress queue a new age deadline the router has not seen.
+	egKick chan struct{}
+	// inbox is the router's ingress channel; its backlog is the pressure
+	// signal that decides inline execution vs shard dispatch.
+	inbox chan inMsg
+
+	// Egress queues, one per link, shared by the router and the shards
+	// (each queue serializes internally). parentOut retains its buffer
+	// across a dead parent link on recoverable networks so the packets
+	// survive until reparenting. The childOut slice itself is mutated only
+	// with the shards quiesced (adoption, attach).
 	parentOut *egressQueue
 	childOut  []*egressQueue
 
@@ -70,9 +88,10 @@ type node struct {
 	epMu     sync.Mutex
 }
 
-// run executes the communication-process event loop: route downstream
-// multicasts toward member back-ends, synchronize and transform upstream
-// packets, and forward filtered results toward the front-end.
+// run executes the communication-process router loop: route downstream
+// multicasts toward member back-ends, relay control, and dispatch data to
+// the per-stream pipeline shards, which synchronize, transform, and egress
+// concurrently.
 func (n *node) run() {
 	if n.leaf {
 		n.be.run()
@@ -80,26 +99,38 @@ func (n *node) run() {
 	}
 	n.streams = map[uint32]*streamState{}
 	inbox := make(chan inMsg, 4*(len(n.ep.Children)+1))
+	n.inbox = inbox
+	n.readStop = make(chan struct{})
+	n.egKick = make(chan struct{}, 1)
+	n.shards = newShardPool(n.nw.shardCount(), n, &n.nw.metrics)
+	defer func() {
+		// Whatever path the router exits by — graceful finish, crash, an
+		// abandoned subtree — the readers and workers must not outlive it.
+		close(n.readStop)
+		n.shards.abort()
+	}()
 
 	// Egress queues wrap every link; with batching disabled they forward
 	// directly, so the un-batched hot path is unchanged.
 	pol := n.nw.cfg.Batch
-	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable())
+	kick := kickFunc(n.egKick)
+	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable(), kick)
 	n.childOut = make([]*egressQueue, len(n.ep.Children))
 	for i, c := range n.ep.Children {
-		n.childOut[i] = newEgressQueue(c, pol, &n.nw.metrics, false)
+		n.childOut[i] = newEgressQueue(c, pol, &n.nw.metrics, false, kick)
 	}
 
 	// Reader goroutines: one per link, feeding the event loop.
-	go readLink(n.ep.Parent, -1, inbox)
+	go readLink(n.ep.Parent, -1, inbox, n.readStop)
 	for i, c := range n.ep.Children {
-		go readLink(c, i, inbox)
+		go readLink(c, i, inbox, n.readStop)
 	}
 	n.liveChildren = len(n.ep.Children)
 
 	// fast counts consecutive fast-path iterations; the periodic forced
 	// slow-path pass bounds how long a busy inbox can defer time-based
-	// work (egress age flushes, synchronizer windows, recovery commands).
+	// work (egress age flushes, recovery commands). Synchronizer windows
+	// are the shards' concern now.
 	fast := 0
 	for {
 		// Fast path: while messages are ready, handle them without the
@@ -123,7 +154,7 @@ func (n *node) run() {
 		if d := n.earliestDeadline(); !d.IsZero() {
 			wait := time.Until(d)
 			if wait <= 0 {
-				n.poll()
+				n.pollEgress()
 				continue
 			}
 			timer = time.NewTimer(wait)
@@ -142,6 +173,12 @@ func (n *node) run() {
 			}
 			if done := n.handle(m); done {
 				return
+			}
+		case <-n.egKick:
+			// A shard gave an egress queue a deadline the scan above did
+			// not see: fall through and recompute.
+			if timer != nil {
+				timer.Stop()
 			}
 		case a := <-n.attachCh:
 			if timer != nil {
@@ -165,7 +202,7 @@ func (n *node) run() {
 			n.finish()
 			return
 		case <-timerC:
-			n.poll()
+			n.pollEgress()
 		}
 	}
 }
@@ -197,7 +234,8 @@ func (n *node) parentLink() transport.Link {
 // with nil placeholders if slots were assigned out of order. The slot's
 // egress queue follows the link: a replacement link gets a fresh queue and
 // a fenced-off slot (nil link) drops whatever was still queued to the dead
-// child.
+// child. Callers must hold the shards quiesced: the childOut slice is read
+// lock-free by the pipeline workers.
 func (n *node) installChild(slot int, l transport.Link) {
 	n.epMu.Lock()
 	for len(n.ep.Children) <= slot {
@@ -213,7 +251,7 @@ func (n *node) installChild(slot int, l transport.Link) {
 		n.childOut[slot] = nil
 		return
 	}
-	n.childOut[slot] = newEgressQueue(l, n.nw.cfg.Batch, &n.nw.metrics, false)
+	n.childOut[slot] = newEgressQueue(l, n.nw.cfg.Batch, &n.nw.metrics, false, kickFunc(n.egKick))
 }
 
 // addChild installs a dynamically attached back-end's link as a new child
@@ -221,34 +259,56 @@ func (n *node) installChild(slot int, l transport.Link) {
 // fixed at creation); streams created afterwards see it via the updated
 // topology snapshot.
 func (n *node) addChild(a attachMsg, inbox chan inMsg) {
-	n.installChild(a.slot, a.link)
+	// installChild grows the childOut slice the shards traverse while
+	// fanning multicasts out; attach is rare, so park the data plane.
+	n.shards.quiesce(func() {
+		n.installChild(a.slot, a.link)
+		for _, ss := range n.streams {
+			ss.growSlots(a.slot + 1)
+		}
+	})
 	n.liveChildren++
-	for _, ss := range n.streams {
-		ss.growSlots(a.slot + 1)
-	}
 	if n.shuttingDown {
 		// The newcomer raced a shutdown: pass the announcement on so it
 		// terminates like everyone else.
 		_ = a.link.Send(packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown)))
 	}
-	go readLink(a.link, a.slot, inbox)
+	go readLink(a.link, a.slot, inbox, n.readStop)
 }
 
 // readLink pumps frames from a link into the inbox, sending a nil-slice
 // sentinel at EOF. A nil link (the root's parent) sends nothing. Reading
 // whole frames means one inbox message — and one event-loop wakeup — per
-// link flush instead of per packet.
-func readLink(l transport.Link, slot int, inbox chan<- inMsg) {
+// link flush instead of per packet. stop covers the owner exiting without
+// draining the inbox (kill, abandoned subtree): a reader must never stay
+// blocked on a channel nobody reads.
+func readLink(l transport.Link, slot int, inbox chan<- inMsg, stop <-chan struct{}) {
 	if l == nil {
 		return
 	}
 	for {
 		ps, err := transport.RecvBatch(l)
 		if err != nil {
-			inbox <- inMsg{child: slot, ps: nil}
+			select {
+			case inbox <- inMsg{child: slot, ps: nil}:
+			case <-stop:
+			}
 			return
 		}
-		inbox <- inMsg{child: slot, ps: ps}
+		// Fast path: a buffered non-blocking send costs one channel
+		// operation; the two-way select only runs when the inbox is full
+		// (backpressure) — where blocking, and therefore watching stop,
+		// is the point.
+		select {
+		case inbox <- inMsg{child: slot, ps: ps}:
+			continue
+		default:
+		}
+		select {
+		case inbox <- inMsg{child: slot, ps: ps}:
+		case <-stop:
+			return
+		}
 	}
 }
 
@@ -256,7 +316,7 @@ func readLink(l transport.Link, slot int, inbox chan<- inMsg) {
 // ps[i]'s stream: control packets and stream changes end a run, so
 // feeding runs to the synchronizer whole preserves exact per-link FIFO
 // semantics. Both the node and the front-end ingress split frames with
-// this single rule.
+// this single rule; a run is also the unit of shard dispatch.
 func nextRun(ps []*packet.Packet, i int) int {
 	j := i + 1
 	for j < len(ps) && ps[j].Tag != packet.TagControl && ps[j].StreamID == ps[i].StreamID {
@@ -297,23 +357,13 @@ func (n *node) handleFromParent(ps []*packet.Packet) bool {
 			}
 			continue
 		}
-		// Downstream data: multicast toward member back-ends, applying the
-		// stream's downstream filter (if any) at this level first.
+		// Downstream data: hand it to the stream's pipeline shard, which
+		// applies the stream's downstream filter (if any) at this level and
+		// multicasts toward member back-ends. Same stream -> same shard, so
+		// per-stream downstream order is preserved.
 		n.nw.metrics.PacketsDown.Add(1)
 		if ss, ok := n.streams[p.StreamID]; ok {
-			outs := []*packet.Packet{p}
-			if ss.downTform != nil {
-				transformed, err := ss.downTform.Transform([]*packet.Packet{p})
-				if err != nil {
-					n.nw.metrics.FilterErrors.Add(1)
-					continue
-				}
-				outs = transformed
-			}
-			for _, q := range outs {
-				q = q.WithStream(ss.id)
-				n.sendDownstream(ss, q)
-			}
+			n.shards.down(ss, p, n.backlogged())
 			continue
 		}
 		// Unknown stream: flood (control may still be propagating on
@@ -329,10 +379,12 @@ func (n *node) handleFromParent(ps []*packet.Packet) bool {
 }
 
 // sendDownstream fans a packet out to the stream's participating children
-// through their egress queues.
+// through their egress queues. Safe from shard workers: routing comes from
+// the stream's snapshot and the childOut slice only changes under quiesce.
 func (n *node) sendDownstream(ss *streamState, p *packet.Packet) {
+	down := ss.routeSnapshot()
 	for i, q := range n.childOut {
-		if q == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
+		if q == nil || i >= len(down) || !down[i] {
 			continue
 		}
 		_ = q.send(p)
@@ -343,8 +395,9 @@ func (n *node) sendDownstream(ss *streamState, p *packet.Packet) {
 // participating children, flushing each queue so control never waits out a
 // batching window (it still keeps its FIFO position behind queued data).
 func (n *node) sendDownstreamNow(ss *streamState, p *packet.Packet) {
+	down := ss.routeSnapshot()
 	for i, q := range n.childOut {
-		if q == nil || i >= len(ss.downChildren) || !ss.downChildren[i] {
+		if q == nil || i >= len(down) || !down[i] {
 			continue
 		}
 		_ = q.sendNow(p)
@@ -375,6 +428,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			return false
 		}
 		n.streams[id] = ss
+		n.shards.register(ss)
 		n.sendDownstreamNow(ss, p)
 	case opCloseStream:
 		id, err := parseCloseStream(p)
@@ -382,14 +436,22 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			return false
 		}
 		if ss, ok := n.streams[id]; ok {
-			// Release anything the synchronizer holds before forgetting
-			// the stream, so time-window policies do not lose data.
-			n.flushBatches(ss, ss.drain())
+			// The stream's shard drains the synchronizer and forwards the
+			// close downstream AFTER every packet dispatched before the
+			// close — the mailbox keeps the control's FIFO position. The
+			// router forgets the stream now, so later arrivals pass
+			// through unfiltered (routed through the same shard to keep
+			// them behind the drain).
 			delete(n.streams, id)
-			n.sendDownstreamNow(ss, p)
+			n.shards.closeStream(ss, p)
 		}
 	case opShutdown:
 		n.shuttingDown = true
+		// Park the data plane before forwarding: every downstream packet
+		// accepted before the announcement is through its pipeline and in
+		// an egress queue, so the announcement keeps its exact per-link
+		// FIFO position, just as the serial loop preserved it.
+		n.shards.quiesce(func() {})
 		for _, q := range n.childOut {
 			if q != nil {
 				_ = q.sendNow(p)
@@ -412,19 +474,22 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 		}
 		return false
 	}
-	// Walk the frame in arrival order, feeding maximal same-stream runs of
-	// data packets to the synchronizer in one call. Control packets and
-	// stream changes break runs, so per-link FIFO semantics are exactly
-	// those of packet-at-a-time processing.
+	// Walk the frame in arrival order, dispatching maximal same-stream runs
+	// of data packets to the stream's pipeline shard in one item. Control
+	// packets and stream changes break runs, and a stream's runs land in
+	// one shard's FIFO mailbox, so per-link, per-stream semantics are
+	// exactly those of packet-at-a-time processing.
 	for i := 0; i < len(ps); {
 		p := ps[i]
 		if p.Tag == packet.TagControl {
 			// Upstream control (heartbeats today) relays toward the
 			// front-end with flush-through: a beacon must never wait out a
-			// batching window, or detection latency would compound per
-			// level. An orphan drops the relay (the dead parent link
-			// would have dropped it anyway) so stale beacons cannot
-			// displace retained data packets from the egress buffer.
+			// batching window — or a shard mailbox — since detection
+			// latency compounds per level. Beacons carry no data-ordering
+			// semantics, so relaying ahead of shard-pending data is safe.
+			// An orphan drops the relay (the dead parent link would have
+			// dropped it anyway) so stale beacons cannot displace retained
+			// data packets from the egress buffer.
 			if !n.orphaned {
 				_ = n.parentOut.sendNow(p)
 			}
@@ -437,15 +502,67 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 		n.nw.metrics.PacketsUp.Add(int64(len(run)))
 		ss, ok := n.streams[p.StreamID]
 		if !ok {
-			// Stream unknown here (e.g. closed): pass through unfiltered.
-			for _, q := range run {
-				_ = n.parentOut.send(q)
-			}
+			// Stream unknown here (e.g. closed): pass through unfiltered,
+			// via the shard the id hashes to so late data stays behind a
+			// just-dispatched close drain.
+			n.shards.upRaw(p.StreamID, run)
 			continue
 		}
-		n.flushBatches(ss, ss.addBatch(child, run))
+		n.shards.up(ss, child, run, n.backlogged())
 	}
 	return false
+}
+
+// backlogged reports whether dispatching to shard workers can pay: more
+// than one live stream (otherwise there is nothing to parallelize) and
+// frames already waiting in the inbox (the router is the bottleneck).
+// When false, the router runs pipelines inline — the exact serial-loop
+// fast path, with no mailbox hop and no cross-goroutine wakeup.
+func (n *node) backlogged() bool {
+	return len(n.streams) > 1 && len(n.inbox) > 0
+}
+
+// shardUp runs the upstream pipeline for one run: synchronize, transform,
+// egress. Called from the stream's shard worker.
+func (n *node) shardUp(ss *streamState, child int, run []*packet.Packet) {
+	n.flushBatches(ss, ss.addBatch(child, run))
+}
+
+// shardUpRaw forwards a pass-through run (stream not carried here).
+func (n *node) shardUpRaw(run []*packet.Packet) {
+	for _, q := range run {
+		_ = n.parentOut.send(q)
+	}
+}
+
+// shardDown runs the downstream pipeline for one packet: down-transform,
+// then multicast to participating children.
+func (n *node) shardDown(ss *streamState, p *packet.Packet) {
+	outs := []*packet.Packet{p}
+	if ss.downTform != nil {
+		transformed, err := ss.downTform.Transform(outs)
+		if err != nil {
+			n.nw.metrics.FilterErrors.Add(1)
+			return
+		}
+		outs = transformed
+	}
+	for _, q := range outs {
+		n.sendDownstream(ss, q.WithStream(ss.id))
+	}
+}
+
+// shardClose completes a stream teardown inside its shard: release
+// anything the synchronizer holds (so time-window policies do not lose
+// data), then forward the close downstream behind it.
+func (n *node) shardClose(ss *streamState, p *packet.Packet) {
+	n.flushBatches(ss, ss.drain())
+	n.sendDownstreamNow(ss, p)
+}
+
+// shardPoll releases a stream's time-triggered batches.
+func (n *node) shardPoll(ss *streamState, now time.Time) {
+	n.flushBatches(ss, ss.poll(now))
 }
 
 // flushBatches transforms released batches and forwards the results upstream.
@@ -466,13 +583,10 @@ func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 	}
 }
 
-// poll releases everything the passage of time owes: synchronizer windows
-// and egress age flushes.
-func (n *node) poll() {
+// pollEgress releases egress age flushes that have come due. Synchronizer
+// windows are polled by the shards that own them.
+func (n *node) pollEgress() {
 	now := time.Now()
-	for _, ss := range n.streams {
-		n.flushBatches(ss, ss.poll(now))
-	}
 	n.parentOut.pollAge(now)
 	for _, q := range n.childOut {
 		q.pollAge(now)
@@ -486,9 +600,6 @@ func (n *node) earliestDeadline() time.Time {
 			d = dd
 		}
 	}
-	for _, ss := range n.streams {
-		min(ss.deadline())
-	}
 	min(n.parentOut.deadline())
 	for _, q := range n.childOut {
 		min(q.deadline())
@@ -496,18 +607,19 @@ func (n *node) earliestDeadline() time.Time {
 	return d
 }
 
-// finish drains every stream upward, flushes every egress queue, and
-// closes the node's links. Called once all children have closed during
-// shutdown, so the released batches are the final data of the run; the
-// egress drain guarantees no packet is stranded in a queue when the links
-// close.
+// finish retires the pipeline shards (completing every dispatched item),
+// drains every stream upward, flushes every egress queue, and closes the
+// node's links. Called once all children have closed during shutdown, so
+// the released batches are the final data of the run; the egress drain
+// guarantees no packet is stranded in a queue when the links close.
 func (n *node) finish() {
+	n.shards.drainStop()
 	for _, ss := range n.streams {
 		n.flushBatches(ss, ss.drain())
 	}
-	n.parentOut.drain()
+	_ = n.parentOut.drain()
 	for _, q := range n.childOut {
-		q.drain()
+		_ = q.drain()
 	}
 	n.closeAll()
 }

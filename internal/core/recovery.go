@@ -95,24 +95,31 @@ func (*cmdAdopt) isNodeCmd()    {}
 func (*cmdReparent) isNodeCmd() {}
 
 // handleCmd executes a recovery command inside the node's event loop.
+// Commands that read or rebuild filter state park the pipeline shards
+// first (quiesce): the snapshot must be a consistent cut, and the adoption
+// rebuilds synchronizers the workers otherwise own single-writer.
 func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 	switch cmd := c.(type) {
 	case *cmdSnapshot:
 		m := map[uint32][]byte{}
-		for id, ss := range n.streams {
-			if st, ok := ss.tform.(filter.StatefulTransformation); ok {
-				if blob, err := st.State(); err == nil && len(blob) > 0 {
-					m[id] = blob
+		n.shards.quiesce(func() {
+			for id, ss := range n.streams {
+				if st, ok := ss.tform.(filter.StatefulTransformation); ok {
+					if blob, err := st.State(); err == nil && len(blob) > 0 {
+						m[id] = blob
+					}
 				}
 			}
-		}
+		})
 		cmd.reply <- m
 	case *cmdAdopt:
 		states := make([]*streamState, 0, len(n.streams))
 		for _, ss := range n.streams {
 			states = append(states, ss)
 		}
-		applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox)
+		n.shards.quiesce(func() {
+			applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox, n.readStop)
+		})
 		n.liveChildren += len(cmd.links)
 		if n.shuttingDown {
 			down := packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown))
@@ -128,18 +135,24 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 			cmd.reply <- err
 			return
 		}
-		n.parentMu.Lock()
-		old := n.ep.Parent
-		n.ep.Parent = link
-		n.parentMu.Unlock()
-		transport.DropLink(old) // usually already dead; fences false positives
-		n.parentGen++
-		n.orphaned = false
-		// Repoint the upstream egress queue, re-flushing any packets it
-		// retained while the old parent was dead: accepted-but-unflushed
-		// data survives the failure instead of being lost with the link.
-		n.parentOut.setLink(link)
-		go readLink(link, -1, inbox)
+		// Park the shards for the link swap: workers send on parentOut
+		// concurrently, and the un-batched fast path reads the queue's
+		// link lock-free — safe only because every link mutation happens
+		// with the data plane stopped.
+		n.shards.quiesce(func() {
+			n.parentMu.Lock()
+			old := n.ep.Parent
+			n.ep.Parent = link
+			n.parentMu.Unlock()
+			transport.DropLink(old) // usually already dead; fences false positives
+			n.parentGen++
+			n.orphaned = false
+			// Repoint the upstream egress queue, re-flushing any packets it
+			// retained while the old parent was dead: accepted-but-unflushed
+			// data survives the failure instead of being lost with the link.
+			n.parentOut.setLink(link)
+		})
+		go readLink(link, -1, inbox, n.readStop)
 		cmd.reply <- nil
 	}
 }
@@ -150,11 +163,13 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 // child links, start their readers, and repair every stream. The readers
 // start before stream repair so both link directions drain while
 // announcements are sent — their packets are only processed after the
-// command completes, once routing is rebuilt. Callers keep their own
-// bookkeeping (live-child counts, shutdown racing) around this.
+// command completes, once routing is rebuilt. Callers run this with their
+// pipeline shards quiesced (it mutates child slots and synchronizer state
+// the shards otherwise own) and keep their own bookkeeping (live-child
+// counts, shutdown racing) around it.
 func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
 	install func(slot int, l transport.Link), states []*streamState,
-	flush func(*streamState, [][]*packet.Packet), inbox chan inMsg) {
+	flush func(*streamState, [][]*packet.Packet), inbox chan inMsg, readStop <-chan struct{}) {
 	if c.deadSlot >= 0 && c.deadSlot < len(ep.Children) {
 		transport.DropLink(ep.Children[c.deadSlot])
 		install(c.deadSlot, nil)
@@ -163,7 +178,7 @@ func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
 		install(c.slots[i], l)
 	}
 	for i, l := range c.links {
-		go readLink(l, c.slots[i], inbox)
+		go readLink(l, c.slots[i], inbox, readStop)
 	}
 	repairStreams(reg, states, c, flush)
 }
@@ -196,8 +211,9 @@ func repairStreams(reg *filter.Registry, states []*streamState, c *cmdAdopt,
 // subtree carries members. Nodes that already know the stream ignore the
 // replay, so this only repairs state lost with the failed node.
 func announceStream(ss *streamState, slots []int, links []transport.Link) {
+	down := ss.routeSnapshot()
 	for i, slot := range slots {
-		if slot < len(ss.downChildren) && ss.downChildren[slot] {
+		if slot < len(down) && down[slot] {
 			_ = links[i].Send(ss.announcePacket())
 		}
 	}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// The stream-sharded data plane splits each routing process (the front-end
+// and every internal communication process) into a thin control-plane
+// router and a pool of per-stream pipeline shards:
+//
+//   - The ROUTER (node.run / feState.run) keeps exclusive ownership of the
+//     links and their reader goroutines, the streams table, control-packet
+//     handling, attach/recovery commands, and per-link FIFO ingress order.
+//     It never runs filters on data packets.
+//
+//   - Each SHARD owns the filter pipeline — synchronizer → transformation →
+//     egress — for a fixed subset of streams (streams hash to shards by
+//     stream id), consuming work from a bounded FIFO mailbox fed by the
+//     router. A stream's packets are always dispatched to the same shard in
+//     arrival order, so per-stream FIFO is preserved while distinct streams
+//     filter concurrently on distinct cores.
+//
+// This is what makes a stream's filter state single-writer: exactly one
+// shard goroutine touches a streamState's synchronizer and transformation —
+// except inside quiesce, which parks every shard at a barrier so the router
+// (recovery snapshots, adoptions, shutdown) can touch everything alone.
+//
+// Egress queues are shard-safe (their own mutex); FIFO within a queue is
+// enqueue order, which keeps control packets behind data the router
+// already accepted and per-stream data in order (single shard per stream).
+
+// shardItem kinds.
+const (
+	itemUp       = iota // upstream data run through the stream's pipeline
+	itemUpRaw           // upstream pass-through (stream unknown/closing at this node)
+	itemDown            // downstream packet through the stream's down-transform
+	itemClose           // drain the stream and forward its close downstream
+	itemRegister        // track a new stream for time-based polling
+	itemForget          // drop the stream from the shard's poll set (front-end close)
+	itemPause           // park at the quiesce barrier until released
+	itemStop            // graceful worker exit (drainStop)
+)
+
+// shardItem is one unit of mailbox work.
+type shardItem struct {
+	kind  int
+	ss    *streamState
+	id    uint32 // stream id for itemUpRaw/itemForget (ss may be nil)
+	child int
+	ps    []*packet.Packet
+	p     *packet.Packet
+	pause *shardPause
+}
+
+// shardPause is the two-phase quiesce rendezvous: the worker signals
+// arrival, then blocks until the router releases the barrier.
+type shardPause struct {
+	arrived *sync.WaitGroup
+	release chan struct{}
+}
+
+// shardOps is the per-stream pipeline work a shard executes on behalf of
+// its owner; implemented by node (internal processes) and feState (root).
+// Calls arrive from exactly one shard goroutine per stream.
+type shardOps interface {
+	shardUp(ss *streamState, child int, run []*packet.Packet)
+	shardUpRaw(run []*packet.Packet)
+	shardDown(ss *streamState, p *packet.Packet)
+	shardClose(ss *streamState, p *packet.Packet)
+	shardPoll(ss *streamState, now time.Time)
+}
+
+// shardMailbox bounds each shard's pending work items (an item is a whole
+// same-stream run, not a packet). A full mailbox blocks the router — the
+// same backpressure a slow serial event loop used to exert on its links.
+const shardMailbox = 256
+
+// shardPool runs the pipeline workers for one routing process.
+type shardPool struct {
+	ops    shardOps
+	m      *Metrics
+	shards []*shard
+	// stop aborts every worker (crash path); drainStop uses per-shard
+	// sentinels instead so queued work completes first.
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type shard struct {
+	pool *shardPool
+	in   chan shardItem
+	// kick wakes the worker to rescan stream deadlines after the router's
+	// inline fast path gave a synchronizer a timer the worker has not
+	// seen (the analogue of the egress queues' kick toward the router).
+	kick chan struct{}
+	// streams tracks the shard's live streams for time-based polling:
+	// registered at stream creation, learned from dispatched work, and
+	// trimmed by close/forget. Touched only by the worker goroutine.
+	streams map[uint32]*streamState
+}
+
+// newShardPool starts n pipeline workers for ops. n < 1 is treated as 1;
+// n == 1 serializes every stream through a single worker (the pre-sharding
+// pipeline order, kept available as the ablation baseline).
+func newShardPool(n int, ops shardOps, m *Metrics) *shardPool {
+	if n < 1 {
+		n = 1
+	}
+	sp := &shardPool{ops: ops, m: m, stop: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		sh := &shard{
+			pool:    sp,
+			in:      make(chan shardItem, shardMailbox),
+			kick:    make(chan struct{}, 1),
+			streams: map[uint32]*streamState{},
+		}
+		sp.shards = append(sp.shards, sh)
+		sp.wg.Add(1)
+		go sh.run()
+	}
+	return sp
+}
+
+// shardFor maps a stream id to its shard. The mapping is pure, so a
+// stream's shard is stable for the life of the process — the property that
+// makes per-stream FIFO hold without any cross-shard coordination.
+func (sp *shardPool) shardFor(id uint32) *shard {
+	if len(sp.shards) == 1 {
+		return sp.shards[0]
+	}
+	h := id * 2654435761 // Fibonacci hash: stream ids are sequential
+	return sp.shards[h%uint32(len(sp.shards))]
+}
+
+// dispatch enqueues an item, giving up only if the pool is aborted (a
+// crashed owner whose workers are gone must not wedge the producer).
+// Pipeline work counts toward ShardDispatches — the inline-vs-dispatched
+// split — while bookkeeping items (register/forget/pause/stop) do not.
+func (sp *shardPool) dispatch(sh *shard, it shardItem) {
+	switch it.kind {
+	case itemUp, itemUpRaw, itemDown, itemClose:
+		sp.m.ShardDispatches.Add(1)
+	}
+	select {
+	case sh.in <- it:
+	case <-sp.stop:
+	}
+}
+
+// tryInline is the router's serial-loop fast path: when nothing is
+// dispatched for the stream (pending == 0, and the router is the sole
+// dispatcher, so nothing can appear concurrently) and the caller reports
+// no backlog worth parallelizing, the pipeline runs on the router's own
+// goroutine — zero mailbox hops and zero cross-goroutine wakeups, exactly
+// the pre-sharding cost. fn runs under the stream's pipeline lock; if it
+// leaves the synchronizer with a timer, the stream's shard is kicked to
+// pick the deadline up (the worker owns all time-based polling).
+func (sp *shardPool) tryInline(ss *streamState, backlogged bool, fn func()) bool {
+	if backlogged || ss.pending.Load() != 0 {
+		return false
+	}
+	ss.pipeMu.Lock()
+	fn()
+	d := ss.deadline()
+	ss.pipeMu.Unlock()
+	sp.m.ShardInline.Add(1)
+	if !d.IsZero() {
+		sh := sp.shardFor(ss.id)
+		select {
+		case sh.kick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// up routes an upstream run: inline when the stream is idle and the
+// router unpressured, else through the stream's shard mailbox.
+func (sp *shardPool) up(ss *streamState, child int, run []*packet.Packet, backlogged bool) {
+	if sp.tryInline(ss, backlogged, func() { sp.ops.shardUp(ss, child, run) }) {
+		return
+	}
+	ss.pending.Add(1)
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemUp, ss: ss, child: child, ps: run})
+}
+
+// upRaw routes a pass-through run by stream id alone: the id hashes to the
+// same shard that carried the stream while it existed, so data arriving
+// behind a close keeps its order relative to the close's drain (always
+// dispatched — the close it chases rides the same mailbox).
+func (sp *shardPool) upRaw(id uint32, run []*packet.Packet) {
+	sp.dispatch(sp.shardFor(id), shardItem{kind: itemUpRaw, id: id, ps: run})
+}
+
+// down routes a downstream packet, inline under the same policy as up.
+func (sp *shardPool) down(ss *streamState, p *packet.Packet, backlogged bool) {
+	if sp.tryInline(ss, backlogged, func() { sp.ops.shardDown(ss, p) }) {
+		return
+	}
+	ss.pending.Add(1)
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemDown, ss: ss, p: p})
+}
+
+// closeStream always dispatches: the worker must also retire the stream
+// from its poll set, and closes are rare. FIFO holds — inline work
+// completed synchronously before this enqueue, dispatched work precedes
+// it in the mailbox.
+func (sp *shardPool) closeStream(ss *streamState, p *packet.Packet) {
+	ss.pending.Add(1)
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemClose, ss: ss, p: p})
+}
+
+// register tracks a just-created stream for time-based polling, so a
+// synchronizer window armed by an inline run fires even if no item ever
+// reaches the worker.
+func (sp *shardPool) register(ss *streamState) {
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemRegister, ss: ss})
+}
+
+func (sp *shardPool) forget(id uint32) {
+	sp.dispatch(sp.shardFor(id), shardItem{kind: itemForget, id: id})
+}
+
+// quiesce parks every shard at a barrier — all work dispatched before the
+// call fully processed, no polling — runs fn with the data plane stopped,
+// then releases the shards. While fn runs the router's single goroutine is
+// the only one touching filter state, which is what lets recovery snapshot
+// and rebuild synchronizers, and shutdown propagation keep its exact FIFO
+// position behind in-flight data.
+func (sp *shardPool) quiesce(fn func()) {
+	var arrived sync.WaitGroup
+	release := make(chan struct{})
+	pause := &shardPause{arrived: &arrived, release: release}
+	for _, sh := range sp.shards {
+		arrived.Add(1)
+		select {
+		case sh.in <- shardItem{kind: itemPause, pause: pause}:
+		case <-sp.stop:
+			arrived.Done() // aborted pool: nothing to park
+		}
+	}
+	arrived.Wait()
+	fn()
+	close(release)
+}
+
+// drainStop retires the workers gracefully: every item already dispatched
+// is processed, then each worker exits. Only the owning router may call it
+// (it must be the sole remaining dispatcher). The pool is marked stopped
+// afterwards so stragglers (a user-goroutine forget racing shutdown)
+// cannot block on a mailbox nobody reads.
+func (sp *shardPool) drainStop() {
+	for _, sh := range sp.shards {
+		select {
+		case sh.in <- shardItem{kind: itemStop}:
+		case <-sp.stop:
+		}
+	}
+	sp.wg.Wait()
+	sp.stopOnce.Do(func() { close(sp.stop) })
+}
+
+// abort stops the pool without draining (crash/kill paths) and waits for
+// the workers to exit; in-flight egress sends fail fast because the
+// owner's links are already severed. Idempotent, and a no-op after
+// drainStop.
+func (sp *shardPool) abort() {
+	sp.stopOnce.Do(func() { close(sp.stop) })
+	sp.wg.Wait()
+}
+
+// run is the shard worker loop: drain ready mailbox items, then wait for
+// more work or the earliest synchronizer deadline among this shard's
+// streams. The fast-iteration cap bounds how long a busy mailbox can defer
+// time-based releases, mirroring the router's loop discipline.
+func (sh *shard) run() {
+	defer sh.pool.wg.Done()
+	fast := 0
+	for {
+		if fast < 1024 {
+			select {
+			case it := <-sh.in:
+				fast++
+				if done := sh.handle(it); done {
+					return
+				}
+				continue
+			case <-sh.pool.stop:
+				return
+			default:
+			}
+		}
+		fast = 0
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if d := sh.earliestDeadline(); !d.IsZero() {
+			wait := time.Until(d)
+			if wait <= 0 {
+				sh.poll()
+				continue
+			}
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case it := <-sh.in:
+			if timer != nil {
+				timer.Stop()
+			}
+			if done := sh.handle(it); done {
+				return
+			}
+		case <-sh.kick:
+			// An inline run armed a synchronizer timer: fall through and
+			// rescan deadlines.
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-sh.pool.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-timerC:
+			sh.poll()
+		}
+	}
+}
+
+// handle executes one mailbox item, returning true when the worker should
+// exit. Stream-scoped work takes the stream's pipeline lock (mutual
+// exclusion with the router's inline fast path) and releases its pending
+// count once done.
+func (sh *shard) handle(it shardItem) bool {
+	switch it.kind {
+	case itemUp:
+		sh.track(it.ss)
+		it.ss.pipeMu.Lock()
+		sh.pool.ops.shardUp(it.ss, it.child, it.ps)
+		it.ss.pipeMu.Unlock()
+		it.ss.pending.Add(-1)
+	case itemUpRaw:
+		sh.pool.ops.shardUpRaw(it.ps)
+	case itemDown:
+		sh.track(it.ss)
+		it.ss.pipeMu.Lock()
+		sh.pool.ops.shardDown(it.ss, it.p)
+		it.ss.pipeMu.Unlock()
+		it.ss.pending.Add(-1)
+	case itemClose:
+		delete(sh.streams, it.ss.id)
+		it.ss.pipeMu.Lock()
+		sh.pool.ops.shardClose(it.ss, it.p)
+		it.ss.pipeMu.Unlock()
+		it.ss.pending.Add(-1)
+	case itemRegister:
+		sh.track(it.ss)
+	case itemForget:
+		delete(sh.streams, it.id)
+	case itemPause:
+		it.pause.arrived.Done()
+		select {
+		case <-it.pause.release:
+		case <-sh.pool.stop:
+		}
+	case itemStop:
+		return true
+	}
+	return false
+}
+
+// track adds the stream to the shard's poll set — unless it has been
+// closed, so a data item dispatched just before a front-end close cannot
+// resurrect a stream its forget item already removed (the dead state
+// would otherwise be polled forever).
+func (sh *shard) track(ss *streamState) {
+	if !ss.closed.Load() {
+		sh.streams[ss.id] = ss
+	}
+}
+
+func (sh *shard) poll() {
+	now := time.Now()
+	for _, ss := range sh.streams {
+		ss.pipeMu.Lock()
+		sh.pool.ops.shardPoll(ss, now)
+		ss.pipeMu.Unlock()
+	}
+}
+
+func (sh *shard) earliestDeadline() time.Time {
+	var d time.Time
+	for _, ss := range sh.streams {
+		ss.pipeMu.Lock()
+		dd := ss.deadline()
+		ss.pipeMu.Unlock()
+		if !dd.IsZero() && (d.IsZero() || dd.Before(d)) {
+			d = dd
+		}
+	}
+	return d
+}

@@ -118,6 +118,9 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 	nw.streams[id] = st
 	nw.mu.Unlock()
 	nw.fe.setState(id, ss)
+	// Track the stream on its pipeline shard from birth, so a timer armed
+	// by an inline run always has a poller.
+	nw.fe.shards.register(ss)
 	nw.recMu.Unlock()
 
 	// Announce downstream along member paths only.
@@ -235,6 +238,14 @@ func (s *Stream) Close() error {
 			sendErr = s.nw.fe.sendToStream(ss, closeStreamPacket(s.id))
 		}
 		s.nw.fe.dropState(s.id)
+		// Trim the stream from its pipeline shard's poll set; data still in
+		// flight for it is dropped by the router (no state) from here on,
+		// and the closed mark keeps an already-dispatched item from
+		// re-registering the dead state behind the forget.
+		if ss != nil {
+			ss.closed.Store(true)
+		}
+		s.nw.fe.shards.forget(s.id)
 		s.nw.mu.Lock()
 		delete(s.nw.streams, s.id)
 		s.nw.mu.Unlock()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/filter"
@@ -9,12 +10,25 @@ import (
 	"repro/internal/topology"
 )
 
-// routeSnapshot returns the stream's participating-children flags, safe for
-// readers outside the owning event loop.
+// streamRoutes is one immutable routing snapshot: which child slots the
+// stream multicasts to, each slot's dense synchronizer index, and the
+// participating-children count. Swapped atomically as a whole so the hot
+// dispatch paths read routing with a single atomic load, no lock.
+type streamRoutes struct {
+	// down holds, for each of the node's child link slots, whether the
+	// stream has members in that child's subtree (multicast routing).
+	down []bool
+	// up maps a child link slot to its dense index among participating
+	// children (the synchronizer's child-slot space), or -1.
+	up []int
+	// numUp is the count of participating children.
+	numUp int
+}
+
+// routeSnapshot returns the stream's participating-children flags, safe
+// for any goroutine.
 func (ss *streamState) routeSnapshot() []bool {
-	ss.routeMu.RLock()
-	defer ss.routeMu.RUnlock()
-	return ss.downChildren
+	return ss.routes.Load().down
 }
 
 // slotInfo describes one child-link slot of a node for stream routing: the
@@ -65,19 +79,34 @@ type streamState struct {
 	memberList                    []Rank
 	members                       map[Rank]bool
 
-	// routeMu guards the routing slices below: at the front-end they are
-	// read by user-goroutine multicasts while the receive loop may rebuild
-	// them during a recovery adoption. (At internal nodes all access is
-	// from the single event loop.)
-	routeMu sync.RWMutex
-	// downChildren holds, for each of the node's child link slots, whether
-	// the stream has members in that child's subtree (multicast routing).
-	downChildren []bool
-	// upSlot maps a child link slot to its dense index among participating
-	// children (the synchronizer's child-slot space), or -1.
-	upSlot []int
-	// numUp is the count of participating children.
-	numUp int
+	// pipeMu serializes pipeline execution — synchronizer, transformation,
+	// egress, drain, poll — between the router's inline fast path and the
+	// stream's shard worker. It is uncontended in steady state: the router
+	// only runs inline while nothing is dispatched (pending == 0), and the
+	// worker only runs what was dispatched; the lock exists for the
+	// handoff edges (a timer poll racing an inline run). The filters
+	// themselves still need no locks of their own.
+	pipeMu sync.Mutex
+	// pending counts dispatched-but-unfinished shard work items for this
+	// stream. The router may execute a run inline (no mailbox hop, the
+	// serial-loop fast path) only when it reads zero: the router is the
+	// sole dispatcher, so zero means nothing is queued or executing and
+	// per-stream FIFO is preserved.
+	pending atomic.Int32
+	// closed is set by Stream.Close before the forget item is enqueued,
+	// so a data item the router dispatched just before the close cannot
+	// re-register the dead stream in its shard's poll set.
+	closed atomic.Bool
+
+	// routes is the current immutable routing snapshot, read lock-free by
+	// user-goroutine multicasts and pipeline shards; writers (stream
+	// creation, recovery adoption under quiesce, dynamic attach on the
+	// router) swap in a fresh snapshot. The filters themselves (sync,
+	// tform, downTform) take no lock: they are single-writer — driven
+	// only by the stream's shard worker or the router's inline fast path
+	// (mutually excluded by pipeMu + pending), or by the router alone
+	// while the shards are quiesced.
+	routes atomic.Pointer[streamRoutes]
 }
 
 // newStreamState instantiates filters and routing for a stream at the node
@@ -119,17 +148,23 @@ func newStreamState(nw *Network, rank Rank, reg *filter.Registry,
 	return ss, nil
 }
 
-// rebuildSlots recomputes routing (downChildren, upSlot, numUp) from a
-// fresh slot snapshot and rewires the synchronizer accordingly. It is
+// rebuildSlots recomputes the routing snapshot from a fresh slot
+// snapshot and rewires the synchronizer accordingly. It is
 // called once at stream creation and again whenever recovery changes the
 // node's child set; packets already queued per surviving slot are preserved
 // when the synchronizer supports remapping, and batches completed by the
 // removal of a dead slot are returned for the caller to flush.
 func (ss *streamState) rebuildSlots(slots []slotInfo) [][]*packet.Packet {
-	oldUpSlot := ss.upSlot
+	var oldUpSlot []int
+	oldNumUp := 0
+	first := ss.routes.Load() == nil
+	if !first {
+		old := ss.routes.Load()
+		oldUpSlot, oldNumUp = old.up, old.numUp
+	}
 	down := make([]bool, len(slots))
 	up := make([]int, len(slots))
-	remap := make([]int, ss.numUp)
+	remap := make([]int, oldNumUp)
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -154,12 +189,7 @@ func (ss *streamState) rebuildSlots(slots []slotInfo) [][]*packet.Packet {
 		}
 		dense++
 	}
-	first := oldUpSlot == nil
-	ss.routeMu.Lock()
-	ss.downChildren = down
-	ss.upSlot = up
-	ss.numUp = dense
-	ss.routeMu.Unlock()
+	ss.routes.Store(&streamRoutes{down: down, up: up, numUp: dense})
 	var released [][]*packet.Packet
 	if r, ok := ss.sync.(filter.SlotRemapper); ok && !first {
 		released = r.RemapSlots(remap, dense)
@@ -176,12 +206,18 @@ func (ss *streamState) rebuildSlots(slots []slotInfo) [][]*packet.Packet {
 // marking new slots as non-participating (dynamic attach: existing
 // streams' membership was fixed at creation).
 func (ss *streamState) growSlots(n int) {
-	ss.routeMu.Lock()
-	for len(ss.downChildren) < n {
-		ss.downChildren = append(ss.downChildren, false)
-		ss.upSlot = append(ss.upSlot, -1)
+	old := ss.routes.Load()
+	if len(old.down) >= n {
+		return
 	}
-	ss.routeMu.Unlock()
+	down := make([]bool, n)
+	up := make([]int, n)
+	copy(down, old.down)
+	copy(up, old.up)
+	for i := len(old.up); i < n; i++ {
+		up[i] = -1
+	}
+	ss.routes.Store(&streamRoutes{down: down, up: up, numUp: old.numUp})
 }
 
 // announcePacket rebuilds the opNewStream control message for this stream,
@@ -190,24 +226,26 @@ func (ss *streamState) announcePacket() *packet.Packet {
 	return newStreamPacket(ss.id, ss.tformName, ss.syncName, ss.downName, ss.memberList)
 }
 
+// syncSlot maps a child link slot to the synchronizer's dense slot space
+// via the lock-free routing snapshot (growSlots may swap it concurrently).
+func (ss *streamState) syncSlot(childIdx int) int {
+	r := ss.routes.Load()
+	if childIdx >= 0 && childIdx < len(r.up) {
+		return r.up[childIdx]
+	}
+	return -1
+}
+
 // add feeds an upstream packet arriving on child link slot childIdx through
 // the synchronizer, returning released batches.
 func (ss *streamState) add(childIdx int, p *packet.Packet) [][]*packet.Packet {
-	slot := -1
-	if childIdx >= 0 && childIdx < len(ss.upSlot) {
-		slot = ss.upSlot[childIdx]
-	}
-	return ss.sync.Add(slot, p)
+	return ss.sync.Add(ss.syncSlot(childIdx), p)
 }
 
 // addBatch feeds a same-stream run of packets from child link slot
 // childIdx through the synchronizer in one call.
 func (ss *streamState) addBatch(childIdx int, ps []*packet.Packet) [][]*packet.Packet {
-	slot := -1
-	if childIdx >= 0 && childIdx < len(ss.upSlot) {
-		slot = ss.upSlot[childIdx]
-	}
-	return filter.AddBatch(ss.sync, slot, ps)
+	return filter.AddBatch(ss.sync, ss.syncSlot(childIdx), ps)
 }
 
 // poll releases time-triggered batches.

@@ -117,9 +117,12 @@ func TestThroughputShape(t *testing.T) {
 	}
 	cfg := ThroughputConfig{
 		DaemonCounts: []int{16, 128},
-		Rounds:       20,
-		Functions:    32,
-		FanOut:       8,
+		// 60 rounds stretch the measured window to tens of milliseconds:
+		// at 20 the flat-vs-tree comparison was dominated by startup and
+		// scheduler jitter and flaked under parallel test load.
+		Rounds:    60,
+		Functions: 32,
+		FanOut:    8,
 	}
 	rows, err := RunThroughput(cfg)
 	if err != nil {

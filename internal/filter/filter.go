@@ -30,8 +30,16 @@ import (
 
 // Transformation reduces a batch of packets (one batch as released by the
 // node's synchronization policy) into zero or more output packets. Filters
-// may keep state across calls; each node instantiates its own filter, so
-// implementations need not be safe for concurrent use.
+// may keep state across calls; each node instantiates its own filter per
+// stream, so implementations need NOT be safe for concurrent use.
+//
+// Concurrency contract (the stream-sharded data plane): every filter
+// instance is single-writer. The engine drives a given stream's filters
+// from exactly one pipeline-shard goroutine at a time, and quiesces that
+// shard before the control plane touches the same instance (recovery
+// snapshots, synchronizer rebuilds, shutdown drains). Implementations may
+// therefore use plain fields freely — but must not share mutable state
+// ACROSS instances, since different streams' filters do run in parallel.
 type Transformation interface {
 	// Transform consumes a batch of packets travelling in the same
 	// direction on one stream and returns the packets to forward. A nil or
@@ -60,9 +68,11 @@ type StatefulTransformation interface {
 }
 
 // Synchronizer groups arriving packets into batches for transformation.
-// Implementations are per-node, per-stream and are driven by the node's
-// receive loop: Add is called for every arriving upstream packet, and
-// Flush drains whatever the policy is willing to release.
+// Implementations are per-node, per-stream and are driven by the stream's
+// pipeline shard: Add is called for every arriving upstream packet, and
+// Poll drains whatever the policy is willing to release on a timer. The
+// single-writer contract on Transformation applies identically here —
+// one goroutine at a time, no locking required inside the filter.
 type Synchronizer interface {
 	// Add offers an arriving packet (with the child slot index it arrived
 	// on) to the synchronizer and returns any batch that the policy
@@ -82,8 +92,11 @@ type Synchronizer interface {
 var ErrUnknownFilter = errors.New("filter: unknown filter")
 
 // Registry maps filter names to constructors. It is safe for concurrent
-// use; overlay nodes consult it when a stream announces its filters, which
-// is the dynamic-loading moment.
+// use — lookups take a read lock, so the many routers and shards of a
+// large overlay instantiate filters in parallel without contention while
+// RegisterTransformation/RegisterSynchronizer may run at any time.
+// Overlay nodes consult it when a stream announces its filters, which is
+// the dynamic-loading moment.
 type Registry struct {
 	mu     sync.RWMutex
 	tforms map[string]func() Transformation

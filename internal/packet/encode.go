@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Wire format (all integers little-endian):
@@ -38,8 +39,40 @@ const MaxWireSize = 1 << 28 // 256 MiB
 // ErrWire reports a malformed wire-format packet.
 var ErrWire = errors.New("packet: malformed wire data")
 
+// wireEncodes counts actual serialization passes (Encode bodies executed),
+// the cost the per-packet wire cache exists to amortize: a k-child TCP
+// multicast used to pay k of these per packet, and now pays one. Tests and
+// benchmarks read it through WireEncodes.
+var wireEncodes atomic.Int64
+
+// WireEncodes returns the number of packet serialization passes performed
+// by this process so far. The counter is global and monotonic; callers
+// interested in one workload take a delta.
+func WireEncodes() int64 { return wireEncodes.Load() }
+
+// EncodedBytes returns the packet's wire encoding, serializing at most once
+// no matter how many links, frames, or goroutines ask: the fan-out of a
+// multicast shares one buffer. The returned slice is shared and must not
+// be modified.
+func (p *Packet) EncodedBytes() []byte {
+	if b := p.wire.Load(); b != nil {
+		return *b
+	}
+	p.encMu.Lock()
+	defer p.encMu.Unlock()
+	if b := p.wire.Load(); b != nil {
+		return *b
+	}
+	b := p.Encode()
+	p.wire.Store(&b)
+	return b
+}
+
 // EncodedSize returns the exact number of bytes Encode will produce.
 func (p *Packet) EncodedSize() int {
+	if b := p.wire.Load(); b != nil {
+		return len(*b)
+	}
 	n := 2 + 1 + 4 + 4 + 4 + 2 + len(p.Format)
 	for i, d := range p.dirs {
 		switch d {
@@ -66,8 +99,11 @@ func (p *Packet) EncodedSize() int {
 	return n
 }
 
-// Encode serializes the packet to its binary wire form.
+// Encode serializes the packet to its binary wire form. Every call performs
+// a full serialization pass; hot paths should prefer EncodedBytes, which
+// caches the result on the packet.
 func (p *Packet) Encode() []byte {
+	wireEncodes.Add(1)
 	buf := make([]byte, 0, p.EncodedSize())
 	buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
 	buf = append(buf, wireVersion)
@@ -343,7 +379,7 @@ func Decode(b []byte) (*Packet, error) {
 // WriteTo writes the packet to w with a uint32 length prefix, the framing
 // used by the TCP transport. It implements part of io.WriterTo.
 func (p *Packet) WriteTo(w io.Writer) (int64, error) {
-	enc := p.Encode()
+	enc := p.EncodedBytes()
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
 	n1, err := w.Write(hdr[:])

@@ -45,12 +45,14 @@ func EncodedFrameSize(ps []*Packet) int {
 }
 
 // EncodeFrame serializes the packets into a frame body (everything after
-// the outer length prefix).
+// the outer length prefix). Packet bodies come from the per-packet wire
+// cache (EncodedBytes), so a packet fanned out into k frames — a TCP
+// multicast — is serialized once and copied k times, never re-encoded.
 func EncodeFrame(ps []*Packet) []byte {
 	buf := make([]byte, 0, EncodedFrameSize(ps))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ps)))
 	for _, p := range ps {
-		enc := p.Encode()
+		enc := p.EncodedBytes()
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
 		buf = append(buf, enc...)
 	}

@@ -170,6 +170,13 @@ type Packet struct {
 
 	dirs   []Directive
 	values []any
+
+	// wire caches the packet's encoded form so a multicast that places the
+	// same packet on k outgoing links encodes it once; all frames share the
+	// buffer (see EncodedBytes). encMu serializes the one slow-path encode.
+	// Both make Packet non-copyable — header restamps go through restamp.
+	wire  atomic.Pointer[[]byte]
+	encMu sync.Mutex
 }
 
 // New constructs a packet, validating the values against the format string.
@@ -387,27 +394,50 @@ func (p *Packet) check(i int, want Directive) error {
 	return nil
 }
 
+// restamp returns a header-mutable copy sharing the payload. The wire
+// cache is deliberately NOT carried over: a restamped header encodes to
+// different bytes (and Packet's cache fields make the struct non-copyable).
+func (p *Packet) restamp() *Packet {
+	return &Packet{
+		Tag:      p.Tag,
+		StreamID: p.StreamID,
+		SrcRank:  p.SrcRank,
+		Format:   p.Format,
+		dirs:     p.dirs,
+		values:   p.values,
+	}
+}
+
 // WithStream returns a copy of the packet re-addressed to the given stream.
 // The payload is shared, not copied.
 func (p *Packet) WithStream(id uint32) *Packet {
-	q := *p
+	if p.StreamID == id {
+		return p // immutable: an identical restamp can share the packet
+	}
+	q := p.restamp()
 	q.StreamID = id
-	return &q
+	return q
 }
 
 // WithSrc returns a copy of the packet with a new source rank. The payload
 // is shared, not copied.
 func (p *Packet) WithSrc(r Rank) *Packet {
-	q := *p
+	if p.SrcRank == r {
+		return p
+	}
+	q := p.restamp()
 	q.SrcRank = r
-	return &q
+	return q
 }
 
 // WithStreamSrc re-addresses the packet to a stream and source in one
 // copy; the hot upstream forwarding path re-stamps both per hop.
 func (p *Packet) WithStreamSrc(id uint32, r Rank) *Packet {
-	q := *p
+	if p.StreamID == id && p.SrcRank == r {
+		return p
+	}
+	q := p.restamp()
 	q.StreamID = id
 	q.SrcRank = r
-	return &q
+	return q
 }

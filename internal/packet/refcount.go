@@ -1,7 +1,6 @@
 package packet
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
@@ -19,9 +18,6 @@ import (
 type Ref struct {
 	p    *Packet
 	refs atomic.Int32
-
-	encodeOnce sync.Once
-	encoded    []byte
 
 	// onRelease, if non-nil, runs exactly once when the count hits zero.
 	onRelease func()
@@ -72,10 +68,9 @@ func (r *Ref) SetOnRelease(f func()) { r.onRelease = f }
 
 // Encoded returns the packet's wire encoding, computing it at most once no
 // matter how many outgoing links share the reference. This is the zero-copy
-// fan-out path: k children share one encode and one buffer.
+// fan-out path: k children share one encode and one buffer. The cache
+// lives on the Packet itself (EncodedBytes), so references taken on the
+// same packet share the same bytes.
 func (r *Ref) Encoded() []byte {
-	r.encodeOnce.Do(func() {
-		r.encoded = r.p.Encode()
-	})
-	return r.encoded
+	return r.p.EncodedBytes()
 }

@@ -74,6 +74,54 @@ func TestBatchInterleavesWithSingles(t *testing.T) {
 	}
 }
 
+// TestFramesSharePacketEncodings pins the "links accept pre-encoded
+// bodies" contract: the TCP frame writer consumes each packet's cached
+// wire bytes, so sending the same packets over k links serializes each
+// packet once — the encode-once half of a multicast — instead of once per
+// link. (The chan transport moves pointers and never encodes at all.)
+func TestFramesSharePacketEncodings(t *testing.T) {
+	var tcp linkFactory
+	for _, f := range factories() {
+		if f.name == "tcp" {
+			tcp = f
+		}
+	}
+	a1, b1 := tcp.make(t)
+	a2, b2 := tcp.make(t)
+	defer func() {
+		for _, l := range []Link{a1, b1, a2, b2} {
+			l.Close()
+		}
+	}()
+	const n = 6
+	batch := mkBatch(n)
+	before := packet.WireEncodes()
+	if err := SendBatch(a1, append([]*packet.Packet(nil), batch...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SendBatch(a2, append([]*packet.Packet(nil), batch...)); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Link{b1, b2} {
+		got, err := RecvBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("received %d packets, want %d", len(got), n)
+		}
+		for i, p := range got {
+			if v, _ := p.Int(0); v != int64(i) {
+				t.Errorf("packet %d carries %d", i, v)
+			}
+		}
+	}
+	if delta := packet.WireEncodes() - before; delta != n {
+		t.Errorf("two-link fan-out of %d packets cost %d serialization passes, want %d (encode-once)",
+			n, delta, n)
+	}
+}
+
 // TestRecvBatchDrainsPendingThenEOF: a half-consumed batch keeps serving
 // after the peer closes, then EOF.
 func TestRecvBatchDrainsPendingThenEOF(t *testing.T) {
