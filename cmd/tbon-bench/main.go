@@ -13,6 +13,7 @@
 //	tbon-bench -exp transport     # ablation: chan vs TCP substrate
 //	tbon-bench -exp recovery      # T-RECOVERY: failure recovery latency
 //	tbon-bench -exp batching      # ablation: egress flush window sweep
+//	tbon-bench -exp flowcontrol   # ablation: credit window × slow consumer
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales. With
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|all")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (an array of {experiment, rows} envelopes) instead of tables; record as BENCH_*.json to track the perf trajectory")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
@@ -42,6 +43,8 @@ func main() {
 	sgfaLeaves := flag.Int("sgfa-leaves", 0, "sgfa back-end count (default 1024)")
 	batchLeaves := flag.Int("batch-leaves", 0, "batching ablation back-end count (default 256)")
 	batchRounds := flag.Int("batch-rounds", 0, "batching ablation packets per back-end (default 200)")
+	fcLeaves := flag.Int("fc-leaves", 0, "flowcontrol ablation back-end count (default 64)")
+	fcRounds := flag.Int("fc-rounds", 0, "flowcontrol ablation multicast rounds (default 400)")
 	flag.Parse()
 
 	var reports []experiments.Report
@@ -179,6 +182,21 @@ func main() {
 			return nil, "", err
 		}
 		return rows, table(func() string { return experiments.BatchingTable(cfg, rows) }), nil
+	})
+
+	run("flowcontrol", func() (any, string, error) {
+		cfg := experiments.DefaultFlowControlConfig()
+		if *fcLeaves > 0 {
+			cfg.Leaves = *fcLeaves
+		}
+		if *fcRounds > 0 {
+			cfg.Rounds = *fcRounds
+		}
+		rows, err := experiments.RunFlowControl(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, table(func() string { return experiments.FlowControlTable(cfg, rows) }), nil
 	})
 
 	if *jsonOut {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +28,8 @@ func main() {
 	q := flag.String("q", "select count(rank), avg(load), max(mem) group by zone", "query text")
 	seed := flag.Int64("seed", 1, "attribute noise seed")
 	batch := flag.Int("batch", 0, "egress batching flush window (0 = off)")
+	window := flag.Int("window", 0, "credit-based flow-control link window (0 = off)")
+	stats := flag.Bool("stats", false, "print the overlay metrics snapshot (egress high-water, credit stalls/grants, …) after the query")
 	flag.Parse()
 
 	tree, err := topology.ParseSpec(*spec)
@@ -36,6 +39,9 @@ func main() {
 	var opts []query.Option
 	if *batch > 1 {
 		opts = append(opts, query.WithBatch(core.BatchPolicy{MaxBatch: *batch, Adaptive: true}))
+	}
+	if *window > 0 {
+		opts = append(opts, query.WithLinkWindow(*window))
 	}
 	eng, err := query.NewEngine(tree, func(rank core.Rank) query.AttrSource {
 		rng := rand.New(rand.NewSource(*seed + int64(rank)))
@@ -58,6 +64,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s\n(%d hosts, %v)\n\n%s", res.Query, len(tree.Leaves()), time.Since(start), res.Render())
+	if *stats {
+		snap := eng.MetricsSnapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("\n## overlay metrics\n")
+		for _, k := range keys {
+			fmt.Printf("%-24s %d\n", k, snap[k])
+		}
+	}
 }
 
 func fatal(err error) {

@@ -14,11 +14,20 @@ import (
 // Its methods are safe to call from the handler goroutine; Recv returns
 // io.EOF once the network shuts down, at which point the handler should
 // return.
+// beDelivery is one downstream packet together with the link it arrived
+// on: retirement at Recv must credit the link that actually carried the
+// packet — after a reparent, inbox residue from the dead parent must not
+// grant the replacement parent a window it never spent.
+type beDelivery struct {
+	p   *packet.Packet
+	src *transport.FlowLink
+}
+
 type BackEnd struct {
 	nw    *Network
 	rank  Rank
 	ep    *transport.Endpoint
-	inbox chan *packet.Packet
+	inbox chan beDelivery
 
 	// parentMu guards ep.Parent, which recovery replaces when the
 	// back-end's parent process fails and a grandparent adopts it.
@@ -41,17 +50,26 @@ type BackEnd struct {
 }
 
 func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
+	// With flow control on, the parent link carries credit accounting;
+	// AttachBackEnd hands a raw link, so wrap here if needed.
+	if nw.flowOn() && ep.Parent != nil && flowOf(ep.Parent) == nil {
+		ep.Parent = transport.NewFlowLink(ep.Parent, nw.cfg.LinkWindow)
+	}
 	be := &BackEnd{
 		nw:         nw,
 		rank:       rank,
 		ep:         ep,
-		inbox:      make(chan *packet.Packet, 64),
+		inbox:      make(chan beDelivery, 64),
 		reparentCh: make(chan reparentReq, 1),
 		killCh:     make(chan struct{}),
 	}
-	if nw.cfg.Batch.enabled() {
+	// The egress queue exists whenever batching OR flow control asks for
+	// it: flow control needs the bounded queue and credit-aware flush even
+	// un-batched.
+	if nw.cfg.Batch.enabled() || nw.flowOn() {
 		be.egKick = make(chan struct{}, 1)
 		be.eg = newEgressQueue(ep.Parent, nw.cfg.Batch, &nw.metrics, nw.recoverable(), kickFunc(be.egKick))
+		be.eg.bindStops(be.killCh, nw.dying)
 	}
 	return be
 }
@@ -89,13 +107,18 @@ func (be *BackEnd) killed() bool {
 
 // Recv blocks for the next downstream packet addressed to this back-end
 // (multicast data on any stream it belongs to). It returns io.EOF when the
-// network is shutting down.
+// network is shutting down. On a flow-controlled network, Recv is the
+// retirement point of downstream traffic: the handler actually consuming
+// a packet is what hands the parent its send credit back — a handler that
+// stops reading throttles the whole path back to the front-end producer,
+// with one window of packets in flight.
 func (be *BackEnd) Recv() (*packet.Packet, error) {
-	p, ok := <-be.inbox
+	d, ok := <-be.inbox
 	if !ok {
 		return nil, io.EOF
 	}
-	return p, nil
+	retireAndGrant(&be.nw.metrics, d.src, 1)
+	return d.p, nil
 }
 
 // Send emits an upstream packet on the given stream. The packet enters the
@@ -224,7 +247,10 @@ loop:
 		if err != nil {
 			// On a recoverable network an unexpected EOF means the parent
 			// crashed: survive as an orphan until a grandparent adopts us
-			// (or the network tears down).
+			// (or the network tears down). Release the handler if it is
+			// blocked on the dead parent's window: its sends overflow into
+			// the retained buffer until reparenting.
+			be.eg.releaseWaiters()
 			if be.nw.recoverable() && !be.killed() {
 				select {
 				case req := <-be.reparentCh:
@@ -233,6 +259,12 @@ loop:
 						// The adoption abandoned the offer (or the fabric
 						// failed): stay orphaned and await the next one.
 						continue
+					}
+					if be.nw.flowOn() {
+						// A replacement link starts a fresh credit window on
+						// both sides: retained sends re-enter it without
+						// double-spending.
+						l = transport.NewFlowLink(l, be.nw.cfg.LinkWindow)
 					}
 					old := be.parentLink()
 					be.setParent(l)
@@ -264,7 +296,7 @@ loop:
 		}
 		be.nw.metrics.PacketsDown.Add(1)
 		select {
-		case be.inbox <- p:
+		case be.inbox <- beDelivery{p: p, src: flowOf(be.parentLink())}:
 		case <-be.killCh:
 			break loop
 		}

@@ -85,6 +85,20 @@ type Config struct {
 	// zero value disables batching: every send is one link operation, the
 	// pre-batching behavior.
 	Batch BatchPolicy
+	// LinkWindow, when positive, enables credit-based end-to-end flow
+	// control with a per-link, per-direction window of that many data
+	// packets. Every link's egress queue becomes hard-bounded at the
+	// window, senders may have at most one window of un-retired packets in
+	// flight toward a peer, and receivers grant credits back only as their
+	// pipelines actually retire packets — so a slow consumer throttles its
+	// producers losslessly, with per-node queued-data memory provably
+	// bounded by links × window packets (see DESIGN.md §8). It also
+	// switches per-link egress to the priority-aware scheduler (control >
+	// StreamSpec.Priority > round-robin across streams) and disables the
+	// router's inline fast path (pipelines may block on a window; the
+	// router must not). 0 disables flow control: unbounded queues and the
+	// plain FIFO egress, the pre-credit behavior.
+	LinkWindow int
 	// Shards sets how many per-stream pipeline workers each routing
 	// process (the front-end and every internal node) runs: streams hash
 	// to shards, so distinct streams synchronize, transform, and egress
@@ -111,8 +125,9 @@ type Metrics struct {
 	FilterErrors atomic.Int64 // transformation errors (packets dropped)
 
 	// Stream-sharded data plane observability.
-	ShardDispatches atomic.Int64 // work items routed to pipeline shards
-	ShardInline     atomic.Int64 // runs executed on the router's inline fast path
+	ShardDispatches     atomic.Int64 // work items routed to pipeline shards
+	ShardInline         atomic.Int64 // runs executed on the router's inline fast path
+	ShardQueueHighWater atomic.Int64 // deepest shard mailbox observed (items)
 
 	// Egress batching observability.
 	PacketsQueued   atomic.Int64 // packets accepted by egress queues
@@ -123,6 +138,10 @@ type Metrics struct {
 	FlushDrain      atomic.Int64 // flushes at shutdown/reparent drains
 	EgressHighWater atomic.Int64 // deepest egress queue observed (packets)
 	EgressDrops     atomic.Int64 // packets dropped at a dead or fenced link
+
+	// Credit-based flow control observability.
+	CreditStalls atomic.Int64 // flushes cut short by an exhausted peer window
+	CreditGrants atomic.Int64 // credit-grant packets sent back to peers
 
 	// Failure detection and recovery observability.
 	HeartbeatsSent       atomic.Int64 // liveness beacons emitted
@@ -184,6 +203,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 		reg = filter.NewRegistry()
 	}
 	cfg.Batch = cfg.Batch.normalized()
+	if cfg.LinkWindow > 0 && cfg.Batch.MaxDelay <= 0 {
+		// Flow control retries credit-stalled and dead-link flushes on the
+		// age clock even when batching is off; it needs a sane bound.
+		cfg.Batch.MaxDelay = DefaultBatchDelay
+	}
 	var eps []*transport.Endpoint
 	switch cfg.Transport {
 	case ChanTransport:
@@ -199,6 +223,26 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	if cfg.WrapFabric != nil {
 		cfg.WrapFabric(eps)
+	}
+	if cfg.LinkWindow > 0 {
+		// Thread credit accounting through every link end before any
+		// process starts: each process wraps its own ends, so both
+		// directions of every edge are governed independently. (Back-end
+		// endpoints are wrapped by newBackEnd, which also covers dynamic
+		// attachment.)
+		for r, ep := range eps {
+			if cfg.Topology.Node(Rank(r)).IsLeaf() {
+				continue
+			}
+			if ep.Parent != nil {
+				ep.Parent = transport.NewFlowLink(ep.Parent, cfg.LinkWindow)
+			}
+			for i, c := range ep.Children {
+				if c != nil {
+					ep.Children[i] = transport.NewFlowLink(c, cfg.LinkWindow)
+				}
+			}
+		}
 	}
 	rewirer := cfg.Rewirer
 	if rewirer == nil {
@@ -233,6 +277,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	// The front-end's shard pool exists before any user-facing API call:
 	// Stream.Close enqueues forget items from user goroutines.
 	nw.fe.shards = newShardPool(nw.shardCount(), nw.fe, &nw.metrics)
+	nw.fe.shards.noInline = nw.flowOn()
 
 	// Start communication processes and back-ends.
 	for r := 1; r < cfg.Topology.Len(); r++ {
@@ -290,11 +335,52 @@ func (nw *Network) shardCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// flowOn reports whether credit-based flow control is enabled.
+func (nw *Network) flowOn() bool { return nw.cfg.LinkWindow > 0 }
+
+// FlowControlled reports whether the network runs credit-based flow
+// control, and with what per-link window (0 when disabled).
+func (nw *Network) FlowControlled() int { return nw.cfg.LinkWindow }
+
 // Tree returns the network's topology.
 func (nw *Network) Tree() *topology.Tree { return nw.treeNow() }
 
 // Metrics returns the network's counters.
 func (nw *Network) Metrics() *Metrics { return &nw.metrics }
+
+// Snapshot renders every counter as a name -> value map: the stable,
+// tooling-friendly view used by tbon-query -stats and the experiment
+// harness. Values are read individually (not atomically as a set), which
+// is fine for observability.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"packets_up":             m.PacketsUp.Load(),
+		"packets_down":           m.PacketsDown.Load(),
+		"batches":                m.Batches.Load(),
+		"filter_errors":          m.FilterErrors.Load(),
+		"shard_dispatches":       m.ShardDispatches.Load(),
+		"shard_inline":           m.ShardInline.Load(),
+		"shard_queue_high_water": m.ShardQueueHighWater.Load(),
+		"packets_queued":         m.PacketsQueued.Load(),
+		"frames_sent":            m.FramesSent.Load(),
+		"flush_size":             m.FlushSize.Load(),
+		"flush_age":              m.FlushAge.Load(),
+		"flush_control":          m.FlushControl.Load(),
+		"flush_drain":            m.FlushDrain.Load(),
+		"egress_high_water":      m.EgressHighWater.Load(),
+		"egress_drops":           m.EgressDrops.Load(),
+		"credit_stalls":          m.CreditStalls.Load(),
+		"credit_grants":          m.CreditGrants.Load(),
+		"heartbeats_sent":        m.HeartbeatsSent.Load(),
+		"heartbeats_seen":        m.HeartbeatsSeen.Load(),
+		"nodes_failed":           m.NodesFailed.Load(),
+		"recoveries_completed":   m.RecoveriesCompleted.Load(),
+		"orphans_adopted":        m.OrphansAdopted.Load(),
+		"rewired_links":          m.RewiredLinks.Load(),
+		"recovery_nanos":         m.RecoveryNanos.Load(),
+		"shutdown_send_failures": m.ShutdownSendFailures.Load(),
+	}
+}
 
 // Shutdown gracefully stops the overlay: it announces shutdown downstream,
 // waits for every node to drain and exit, and closes all streams. It

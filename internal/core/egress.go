@@ -61,15 +61,25 @@ var maxEgressFrameBytes = packet.MaxWireSize
 // maxRetained bounds an egress queue retained across a dead parent link
 // (an orphan waiting for adoption): beyond it the oldest packets are
 // dropped, mirroring the bounded kernel-buffer loss a real crashed link
-// would impose.
+// would impose. With flow control on the queue is already hard-bounded at
+// the link window, which is always tighter.
 const maxRetained = 4096
 
-// flush causes, for the metrics counters.
+// maxFlushRounds bounds how many take-and-send rounds one flush performs
+// before handing the wire back: producers that keep the queue hot trigger
+// their own size flushes, so the combiner never needs to spin forever.
+const maxFlushRounds = 8
+
+// flush causes, for the metrics counters. flushResume is a credit-aware
+// re-flush after reparenting (counted with the drains, but — unlike a
+// drain — it respects the peer's window and never skews the adaptive
+// window).
 const (
 	flushSize = iota
 	flushAge
 	flushControl
 	flushDrain
+	flushResume
 )
 
 // egressQueue batches outbound packets for one link. It is safe for
@@ -79,26 +89,75 @@ const (
 // lock-acquisition order, which is what preserves per-stream FIFO (each
 // stream has exactly one worker) and keeps control packets behind data the
 // router already accepted.
+//
+// Locking is split in two so producers never wait on the wire:
+//
+//   - mu guards the queued packets (buf, or the flow-control scheduler)
+//     and is held only for O(1) bookkeeping — never across a link Send.
+//
+//   - flushMu is the wire ownership: exactly one flusher at a time takes
+//     batches out (under mu) and sends them (outside mu). Triggered
+//     flushes use TryLock, so a producer or the router that finds a flush
+//     already in progress simply moves on — the active flusher loops and
+//     drains what they appended. Only the explicit drain (shutdown,
+//     reparent, Flush) blocks for the wire.
+//
+// With flow control enabled (the link is a transport.FlowLink) the queue
+// is additionally hard-bounded: data occupancy is capped at the link
+// window by a slot semaphore (senders block, abortable by the owner's
+// stop channels), flushes acquire one wire credit per data packet and
+// stop — stalled — when the peer's window is exhausted, and the scheduler
+// (flowegress.go) orders what a flush sends: order-free control first,
+// then streams by priority, round-robin within a priority, with
+// order-sensitive control packets acting as barriers that nothing
+// enqueued after them may overtake.
 type egressQueue struct {
-	link transport.Link
-	pol  BatchPolicy
-	m    *Metrics
-	// retain keeps the buffer on a failed flush so the packets survive a
-	// dead parent link until recovery re-parents the owner (recoverable
-	// networks); without it a failed flush drops the buffer, the
-	// pre-batching loss behavior.
+	pol    BatchPolicy
+	m      *Metrics
 	retain bool
 	// kick, if non-nil, is called (without mu) whenever the buffer
-	// transitions empty -> non-empty: the queue now has an age deadline
-	// that the owner's timer loop needs to learn about, since the enqueue
-	// may have come from a shard worker the owner cannot observe.
+	// transitions empty -> non-empty or a credit stall clears: the queue
+	// then has an age deadline the owner's timer loop needs to learn
+	// about, since the enqueue may have come from a shard worker the owner
+	// cannot observe.
 	kick func()
 
-	mu     sync.Mutex
-	buf    []*packet.Packet
-	bytes  int // Σ encoded payload bytes queued, for the frame byte bound
-	oldest time.Time
-	window int // adaptive effective flush window
+	// fc marks a flow-controlled queue. Immutable after construction (a
+	// replacement link is always the same kind as the one it replaces), so
+	// the hot send path may read it lock-free while setLink swaps the flow
+	// pointer under mu.
+	fc bool
+	// slots is the hard data-occupancy bound in flow-control mode: a
+	// counting semaphore of link-window capacity. Senders on pipeline or
+	// handler goroutines block here when the queue is full; the router
+	// never does (it sends with block=false and may transiently overflow
+	// during recovery replay — see sendCtx).
+	slots chan struct{}
+	// stopA/stopB abort a blocked slot acquisition (owner killed, network
+	// dying); an aborted sender overflows rather than losing the packet.
+	stopA, stopB <-chan struct{}
+	// released (guarded by mu; closed by releaseWaiters, re-armed by
+	// setLink) aborts blocked slot acquisitions when the link dies: a
+	// worker waiting on a dead peer's window would otherwise never reach
+	// the quiesce barrier recovery needs to install the replacement link —
+	// a deadlock. Released senders overflow into the (retained, bounded)
+	// buffer, the pre-flow-control orphan behavior.
+	released chan struct{}
+
+	// flushMu is the wire ownership (see above). Held across link sends.
+	flushMu sync.Mutex
+
+	mu   sync.Mutex
+	link transport.Link
+	// flow is the link's credit accounting when flow control is on (the
+	// same object as link); nil otherwise.
+	flow    *transport.FlowLink
+	buf     []*packet.Packet // plain FIFO (flow control off)
+	sched   *egressSched     // priority scheduler (flow control on)
+	bytes   int              // Σ encoded payload bytes queued (buf mode)
+	oldest  time.Time
+	window  int // adaptive effective flush window
+	stalled bool
 	// localHW mirrors the deepest depth this queue has reported to the
 	// global high-water gauge, so the hot path pays an atomic only when
 	// it sets a new per-queue record.
@@ -117,6 +176,8 @@ func kickFunc(ch chan struct{}) func() {
 }
 
 // newEgressQueue wraps a link with the given (already normalized) policy.
+// A *transport.FlowLink switches the queue into flow-controlled mode:
+// hard-bounded occupancy, credit-aware flushes, priority scheduling.
 func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool, kick func()) *egressQueue {
 	q := &egressQueue{link: l, pol: pol, m: m, retain: retain, kick: kick, window: pol.MaxBatch}
 	if pol.Adaptive {
@@ -125,126 +186,432 @@ func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool, 
 			q.window = pol.MaxBatch
 		}
 	}
+	q.adoptFlow(l)
 	return q
 }
 
-// send enqueues p, flushing once the effective window fills or the batch
-// would outgrow the wire's frame byte bound. With batching disabled it
-// forwards directly to the link.
-func (q *egressQueue) send(p *packet.Packet) error {
+// adoptFlow switches the queue's credit state to l's (callers hold mu, or
+// own the queue exclusively at construction/reparent time).
+func (q *egressQueue) adoptFlow(l transport.Link) {
+	fl, _ := l.(*transport.FlowLink)
+	q.flow = fl
+	if fl == nil {
+		return
+	}
+	if !q.fc {
+		// First (construction-time) adoption: fc is immutable afterwards —
+		// a replacement link is always the same kind — so the hot send
+		// path may read it lock-free.
+		q.fc = true
+	}
+	if q.sched == nil {
+		q.sched = newEgressSched()
+	}
+	if q.slots == nil {
+		q.slots = make(chan struct{}, fl.Window())
+	}
+	// (Re-)arm the hard bound: a fresh link means the window is enforceable
+	// again after a releaseWaiters interlude.
+	q.released = make(chan struct{})
 	if !q.pol.enabled() {
-		// Lock-free link read: q.link changes only before the queue is
-		// shared or while the owner's shards are quiesced (setLink during
-		// reparent), so no sender can observe the swap mid-flight.
-		return q.link.Send(p)
+		q.window = 1 // flow control without batching: flush per packet
+	}
+	// A grant from the peer may be the only thing that can restart a
+	// stalled queue: resume immediately on refill.
+	fl.SetRefillHook(q.unstall)
+}
+
+// bindStops sets the channels that abort a blocked slot acquisition.
+func (q *egressQueue) bindStops(a, b <-chan struct{}) {
+	q.stopA, q.stopB = a, b
+}
+
+// acquireSlot takes one data-occupancy slot, blocking (abortably) when the
+// queue is at the link window and block is true. Callers that may not
+// block — the router during recovery replay and final drains — overflow
+// instead, transiently exceeding the bound rather than deadlocking; the
+// release side is tolerant of the resulting imbalance.
+func (q *egressQueue) acquireSlot(block bool) {
+	if q.slots == nil {
+		return
+	}
+	select {
+	case q.slots <- struct{}{}:
+		return
+	default:
+	}
+	if !block {
+		return
 	}
 	q.mu.Lock()
-	wasEmpty := len(q.buf) == 0
-	err := q.sendLocked(p)
-	kick := q.kick != nil && wasEmpty && len(q.buf) > 0
+	rel := q.released
+	q.mu.Unlock()
+	select {
+	case q.slots <- struct{}{}:
+	case <-q.stopA:
+	case <-q.stopB:
+	case <-rel:
+	}
+}
+
+// rearmWaiters restores the hard bound after a releaseWaiters interlude
+// (the owner finished quiescing, or a replacement link arrived): future
+// blocked acquisitions wait again.
+func (q *egressQueue) rearmWaiters() {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.slots != nil && q.released != nil {
+		select {
+		case <-q.released:
+			q.released = make(chan struct{})
+		default:
+		}
+	}
+	q.mu.Unlock()
+}
+
+// releaseWaiters aborts every blocked slot acquisition and re-enables
+// flush retries: called when the queue's link is known dead (parent or
+// child EOF) and before every quiesce, so pipeline workers can finish
+// their in-flight items — and reach the quiesce barrier — instead of
+// waiting on a window nobody may ever refill. Overflowing sends land in
+// the (bounded on the failure path) retained buffer; rearmWaiters or
+// setLink restores the bound.
+func (q *egressQueue) releaseWaiters() {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.released != nil {
+		select {
+		case <-q.released:
+		default:
+			close(q.released)
+		}
+	}
+	// A credit stall against a dead peer must not suppress the age retry:
+	// the retrying flush observes the dead link and retains (bounded) or
+	// drops, releasing slots either way.
+	q.stalled = false
+	if q.queuedLocked() > 0 && q.oldest.IsZero() {
+		q.oldest = time.Now()
+	}
+	kick := q.kick != nil && q.queuedLocked() > 0
 	q.mu.Unlock()
 	if kick {
 		q.kick()
 	}
-	return err
 }
 
-func (q *egressQueue) sendLocked(p *packet.Packet) error {
+// releaseSlots returns n data-occupancy slots; overflow sends may leave
+// fewer held than released, so draining stops at empty.
+func (q *egressQueue) releaseSlots(n int) {
+	if q.slots == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-q.slots:
+		default:
+			return
+		}
+	}
+}
+
+// send enqueues a data packet at default priority, blocking if the
+// flow-control window is exhausted. Flushes once the effective window
+// fills. With batching and flow control both disabled it forwards directly
+// to the link.
+func (q *egressQueue) send(p *packet.Packet) error {
+	return q.sendCtx(p, 0, true)
+}
+
+// sendCtx enqueues a data packet with a stream priority. block chooses
+// between the hard bound (pipeline workers, back-end handlers: wait for a
+// slot) and router-context overflow (recovery replay, drains: never block
+// the control plane, accept a transient excursion past the window).
+func (q *egressQueue) sendCtx(p *packet.Packet, prio int, block bool) error {
+	if !q.fc {
+		if !q.pol.enabled() {
+			// Lock-free link read: q.link changes only before the queue is
+			// shared or while the owner's shards are quiesced (setLink during
+			// reparent), so no sender can observe the swap mid-flight.
+			return q.link.Send(p)
+		}
+		return q.enqueue(p, prio, false)
+	}
+	q.acquireSlot(block)
+	return q.enqueue(p, prio, false)
+}
+
+// sendNow enqueues p and flushes immediately. Control packets use it:
+// order-sensitive control (stream setup/teardown, shutdown) keeps its FIFO
+// position behind already queued data but never waits out a batching
+// window; order-free control (heartbeats) additionally jumps to the
+// scheduler's control lane when flow control is on, so it can never be
+// delayed behind credit-stalled data.
+func (q *egressQueue) sendNow(p *packet.Packet) error {
+	if !q.fc && !q.pol.enabled() {
+		return q.link.Send(p)
+	}
+	return q.enqueue(p, 0, true)
+}
+
+// enqueue appends p (ctrl marks a sendNow control packet), updates the
+// bookkeeping, and triggers whatever flush is due. Producers never wait on
+// the wire: a triggered flush that finds another flusher active is
+// absorbed by that flusher's drain loop.
+func (q *egressQueue) enqueue(p *packet.Packet, prio int, ctrl bool) error {
+	q.mu.Lock()
+	wasEmpty := q.queuedLocked() == 0
+	if q.sched != nil {
+		q.sched.add(p, prio, ctrl)
+	} else if ctrl {
+		q.buf = append(q.buf, p)
+		q.bytes += p.EncodedSize() + 4
+	} else {
+		q.bufAddLocked(p)
+	}
+	if wasEmpty {
+		q.oldest = time.Now()
+	}
+	q.m.PacketsQueued.Add(1)
+	// The high-water gauge tracks what the link window bounds: data
+	// occupancy in flow-controlled mode, everything queued otherwise.
+	hw := q.queuedLocked()
+	if q.sched != nil {
+		hw = q.sched.data
+	}
+	if hw > q.localHW {
+		q.localHW = hw
+		q.noteDepth(hw)
+	}
+	due := ctrl || q.queuedLocked() >= q.window
+	kick := q.kick != nil && wasEmpty && q.queuedLocked() > 0
+	q.mu.Unlock()
+	if kick {
+		q.kick()
+	}
+	if !due {
+		return nil
+	}
+	cause := flushSize
+	if ctrl {
+		cause = flushControl
+	}
+	return q.flush(cause)
+}
+
+// bufAddLocked appends a data packet to the plain FIFO, splitting off a
+// pre-flush when the batch would outgrow the wire's frame byte bound.
+// Individually legal packets must never combine into a frame the receiver
+// would reject; the split flush blocks for the wire here (pre-flow-control
+// behavior for oversize batches, which are rare). A failed split flush is
+// deliberately absorbed: the flusher retained or dropped the buffer, and
+// p queues behind whatever remains — later flushes surface the error.
+func (q *egressQueue) bufAddLocked(p *packet.Packet) {
 	sz := p.EncodedSize()
 	if len(q.buf) > 0 && q.bytes+sz > maxEgressFrameBytes {
-		// Individually legal packets must never combine into a frame the
-		// receiver would reject (bytes tracks per-packet framing overhead
-		// too, keeping the body within packet.MaxFrameBody): flush what
-		// is queued, then batch on.
-		_ = q.flushLocked(flushSize)
+		q.mu.Unlock()
+		_ = q.drainCause(flushSize)
+		q.mu.Lock()
 	}
 	if len(q.buf) == 0 {
 		q.oldest = time.Now()
 	}
 	q.buf = append(q.buf, p)
 	q.bytes += sz + 4
-	q.m.PacketsQueued.Add(1)
-	if len(q.buf) > q.localHW {
-		q.localHW = len(q.buf)
-		q.noteDepth(q.localHW)
+}
+
+// queuedLocked reports how many packets are queued. Callers hold mu.
+func (q *egressQueue) queuedLocked() int {
+	if q.sched != nil {
+		return q.sched.count
 	}
-	if len(q.buf) >= q.window {
-		return q.flushLocked(flushSize)
+	return len(q.buf)
+}
+
+// flush runs the take-and-send loop if no other flusher owns the wire;
+// otherwise the active flusher's loop will drain what triggered us.
+func (q *egressQueue) flush(cause int) error {
+	if !q.flushMu.TryLock() {
+		return nil
+	}
+	defer q.flushMu.Unlock()
+	return q.flushLoop(cause)
+}
+
+// drainCause blocks for wire ownership and drains with the given cause.
+func (q *egressQueue) drainCause(cause int) error {
+	q.flushMu.Lock()
+	defer q.flushMu.Unlock()
+	return q.flushLoop(cause)
+}
+
+// flushLoop repeatedly takes a batch (under mu) and sends it (outside mu)
+// until the queue is empty, the peer's credit window is exhausted, the
+// round bound is hit, or the wire fails. Callers hold flushMu.
+func (q *egressQueue) flushLoop(cause int) error {
+	bypass := cause == flushDrain
+	for round := 0; round < maxFlushRounds; round++ {
+		q.mu.Lock()
+		var batch []*packet.Packet
+		var total, nData int
+		var stalled bool
+		if q.sched != nil {
+			batch, total, nData, stalled = q.sched.take(q.flow, bypass)
+		} else {
+			batch, total = q.buf, q.bytes
+			q.buf, q.bytes = nil, 0
+		}
+		if len(batch) == 0 {
+			if stalled && q.sched.count > 0 {
+				if q.grantLandedLocked() {
+					q.mu.Unlock()
+					continue
+				}
+				q.noteStallLocked()
+			} else if q.queuedLocked() == 0 {
+				q.oldest = time.Time{}
+			}
+			q.mu.Unlock()
+			return nil
+		}
+		q.mu.Unlock()
+
+		unsent, frames, err := q.sendFrames(batch, total)
+		if frames > 0 {
+			q.m.FramesSent.Add(frames)
+			switch cause {
+			case flushSize:
+				q.m.FlushSize.Add(1)
+			case flushAge:
+				q.m.FlushAge.Add(1)
+			case flushControl:
+				q.m.FlushControl.Add(1)
+			case flushDrain, flushResume:
+				q.m.FlushDrain.Add(1)
+			}
+		}
+		if err != nil {
+			q.failedFlush(batch, unsent, nData, bypass)
+			return err
+		}
+		q.releaseSlots(nData)
+		q.mu.Lock()
+		if round == 0 {
+			// Adapt the window only when the flush actually went out: a
+			// dead-link retry loop (retained buffer, recoverable owner) must
+			// not collapse or inflate the adaptive window while nothing moves.
+			q.adapt(cause)
+		}
+		if stalled && q.sched.count > 0 {
+			if q.grantLandedLocked() {
+				q.mu.Unlock()
+				continue
+			}
+			q.noteStallLocked()
+			q.mu.Unlock()
+			return nil
+		}
+		empty := q.queuedLocked() == 0
+		if empty {
+			q.oldest = time.Time{}
+		}
+		q.mu.Unlock()
+		if empty {
+			return nil
+		}
 	}
 	return nil
 }
 
-// sendNow enqueues p and flushes immediately. Control packets use it: they
-// keep their FIFO position behind already queued data but never wait out a
-// batching window.
-func (q *egressQueue) sendNow(p *packet.Packet) error {
-	if !q.pol.enabled() {
-		return q.link.Send(p)
+// noteStallLocked marks the queue credit-stalled: its age deadline is
+// suppressed (only a grant can make progress) and the stall is counted.
+// Callers hold mu.
+func (q *egressQueue) noteStallLocked() {
+	if !q.stalled {
+		q.stalled = true
+		q.m.CreditStalls.Add(1)
 	}
-	q.mu.Lock()
-	wasEmpty := len(q.buf) == 0
-	q.buf = append(q.buf, p)
-	q.bytes += p.EncodedSize() + 4
-	q.m.PacketsQueued.Add(1)
-	err := q.flushLocked(flushControl)
-	kick := q.kick != nil && wasEmpty && len(q.buf) > 0
-	q.mu.Unlock()
-	if kick {
-		q.kick()
-	}
-	return err
 }
 
-// flushLocked sends the buffered batch, split into as many frames as the
-// wire's byte bound demands (one in the common case). On failure the unsent
-// remainder is retained (recoverable owners) or dropped, and the error is
-// returned. Callers hold mu.
-func (q *egressQueue) flushLocked(cause int) error {
-	if len(q.buf) == 0 {
-		return nil
+// grantLandedLocked probes for a grant that arrived between take()'s
+// failed credit acquisition and now: the refill's unstall either ran
+// before the stall flag existed (a lost wakeup, which this probe closes —
+// the flusher just goes another round) or is blocked on mu and will
+// observe the flag once set. Callers hold mu.
+func (q *egressQueue) grantLandedLocked() bool {
+	if q.flow == nil || !q.flow.TryAcquire() {
+		return false
 	}
-	buf, total := q.buf, q.bytes
-	q.buf = nil
-	q.bytes = 0
-	unsent, frames, err := q.sendFrames(buf, total)
-	if err == nil {
-		// Adapt the window only when the flush actually went out: a
-		// dead-link retry loop (retained buffer, recoverable owner) must
-		// not collapse or inflate the adaptive window while nothing moves.
-		q.adapt(cause)
-	} else {
-		if q.retain {
-			// The link died under us: keep the unsent remainder (bounded)
-			// so a reparent can re-flush it to the new parent.
-			if n := len(unsent) - maxRetained; n > 0 {
-				q.m.EgressDrops.Add(int64(n))
-				unsent = unsent[n:]
-			}
+	q.flow.Refund(1)
+	return true
+}
+
+// unstall clears a credit stall after an inbound grant refilled the send
+// window: the queue's age deadline is re-armed as already due and the
+// owner is kicked — its timer loop sees the expired deadline immediately
+// and flushes. The hook runs on the link's READER goroutine, which must
+// never itself touch the wire: a reader blocked in a send stops draining
+// its own link, and two peers doing that symmetrically would deadlock.
+func (q *egressQueue) unstall() {
+	q.mu.Lock()
+	was := q.stalled
+	if was {
+		q.stalled = false
+		q.oldest = time.Now().Add(-q.pol.MaxDelay)
+	}
+	q.mu.Unlock()
+	if was && q.kick != nil {
+		q.kick()
+	}
+}
+
+// failedFlush restores or drops the unsent remainder of a failed
+// flush and refunds any wire credits it had acquired.
+func (q *egressQueue) failedFlush(batch, unsent []*packet.Packet, nData int, bypass bool) {
+	// Credits were acquired for every data packet taken; refund the unsent
+	// ones (unless the drain bypassed accounting entirely).
+	unsentData := 0
+	for _, p := range unsent {
+		if p.Tag != packet.TagControl {
+			unsentData++
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.flow != nil && !bypass {
+		// Refund, not Refill: no hook may run under mu, and there is
+		// nothing to wake — the credits were never the peer's to grant.
+		q.flow.Refund(unsentData)
+	}
+	q.releaseSlots(nData - unsentData) // sent data left the queue for good
+	if q.retain {
+		// The link died under us: keep the unsent remainder (bounded) so a
+		// reparent can re-flush it to the new parent.
+		if n := len(unsent) - maxRetained; n > 0 {
+			q.m.EgressDrops.Add(int64(n))
+			unsent = unsent[n:]
+		}
+		if q.sched != nil {
+			q.sched.restore(unsent)
+		} else {
 			q.buf = append(unsent, q.buf...)
+			q.bytes = 0
 			for _, r := range q.buf {
 				q.bytes += r.EncodedSize() + 4
 			}
-			// Restart the age clock so retries back off by MaxDelay
-			// instead of hot-looping on an already-expired deadline.
-			q.oldest = time.Now()
-		} else {
-			q.m.EgressDrops.Add(int64(len(unsent)))
 		}
+		// Restart the age clock so retries back off by MaxDelay instead of
+		// hot-looping on an already-expired deadline.
+		q.oldest = time.Now()
+	} else {
+		q.m.EgressDrops.Add(int64(len(unsent)))
+		q.releaseSlots(unsentData)
 	}
-	if frames > 0 {
-		q.m.FramesSent.Add(frames)
-		switch cause {
-		case flushSize:
-			q.m.FlushSize.Add(1)
-		case flushAge:
-			q.m.FlushAge.Add(1)
-		case flushControl:
-			q.m.FlushControl.Add(1)
-		case flushDrain:
-			q.m.FlushDrain.Add(1)
-		}
-	}
-	return err
 }
 
 // sendFrames moves buf onto the link, splitting it whenever the combined
@@ -253,10 +620,12 @@ func (q *egressQueue) flushLocked(cause int) error {
 // data, can outgrow what a single frame may carry. The common case (total
 // within bound, maintained by send) is a single SendBatch. On error the
 // not-yet-sent packets are returned; already-sent frames are delivered, so
-// nothing is duplicated on retry.
+// nothing is duplicated on retry. Callers hold flushMu (which is what
+// makes reading q.link here safe: setLink swaps it only under flushMu).
 func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*packet.Packet, frames int64, err error) {
+	link := q.link
 	if total <= maxEgressFrameBytes+4 {
-		if err := transport.SendBatch(q.link, buf); err != nil {
+		if err := transport.SendBatch(link, buf); err != nil {
 			return buf, 0, err
 		}
 		return nil, 1, nil
@@ -265,7 +634,7 @@ func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*pac
 	for i, p := range buf {
 		sz := p.EncodedSize() + 4
 		if i > start && bytes+sz > maxEgressFrameBytes+4 {
-			if err := transport.SendBatch(q.link, buf[start:i]); err != nil {
+			if err := transport.SendBatch(link, buf[start:i]); err != nil {
 				return buf[start:], frames, err
 			}
 			frames++
@@ -273,7 +642,7 @@ func (q *egressQueue) sendFrames(buf []*packet.Packet, total int) (unsent []*pac
 		}
 		bytes += sz
 	}
-	if err := transport.SendBatch(q.link, buf[start:]); err != nil {
+	if err := transport.SendBatch(link, buf[start:]); err != nil {
 		return buf[start:], frames, err
 	}
 	return nil, frames + 1, nil
@@ -300,14 +669,16 @@ func (q *egressQueue) adapt(cause int) {
 }
 
 // deadline returns when the oldest queued packet must be age-flushed, or
-// the zero time when the queue is empty.
+// the zero time when the queue is empty — or credit-stalled, in which case
+// only an inbound grant (whose refill hook re-arms the deadline) can make
+// progress and a timer would just spin.
 func (q *egressQueue) deadline() time.Time {
 	if q == nil {
 		return time.Time{}
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.buf) == 0 {
+	if q.queuedLocked() == 0 || q.stalled || q.oldest.IsZero() {
 		return time.Time{}
 	}
 	return q.oldest.Add(q.pol.MaxDelay)
@@ -319,36 +690,51 @@ func (q *egressQueue) pollAge(now time.Time) {
 		return
 	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.buf) == 0 || now.Before(q.oldest.Add(q.pol.MaxDelay)) {
-		return
+	due := q.queuedLocked() > 0 && !q.stalled && !q.oldest.IsZero() && !now.Before(q.oldest.Add(q.pol.MaxDelay))
+	q.mu.Unlock()
+	if due {
+		_ = q.flush(flushAge)
 	}
-	_ = q.flushLocked(flushAge)
 }
 
-// drain force-flushes everything queued (shutdown, reparent, Flush).
+// drain force-flushes everything queued (shutdown, reparent, Flush),
+// bypassing the credit window: the endpoints are quiescing and losslessness
+// outranks the bound.
 func (q *egressQueue) drain() error {
 	if q == nil {
 		return nil
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.flushLocked(flushDrain)
+	return q.drainCause(flushDrain)
 }
 
 // setLink repoints the queue at a replacement link (recovery reparenting)
-// and re-flushes anything retained across the old link's death. If the
-// re-flush fails again the buffer stays retained, so the owner is kicked
+// and re-flushes anything retained across the old link's death — within
+// the NEW link's credit window, which starts full: retained packets
+// re-enter the bounded window without double-spending credits, and
+// whatever exceeds it stays queued until the new peer grants. If the
+// re-flush fails again the buffer stays retained, and the owner is kicked
 // to re-arm its age timer for the retry.
 func (q *egressQueue) setLink(l transport.Link) {
+	q.flushMu.Lock()
 	q.mu.Lock()
-	q.link = l
-	if len(q.buf) > 0 {
-		q.oldest = time.Now()
-		_ = q.flushLocked(flushDrain)
+	if old := q.flow; old != nil {
+		old.SetRefillHook(nil)
 	}
-	kick := q.kick != nil && len(q.buf) > 0
+	q.link = l
+	q.adoptFlow(l)
+	q.stalled = false
+	queued := q.queuedLocked()
+	if queued > 0 {
+		q.oldest = time.Now()
+	}
 	q.mu.Unlock()
+	if queued > 0 {
+		_ = q.flushLoop(flushResume)
+	}
+	q.mu.Lock()
+	kick := q.kick != nil && q.queuedLocked() > 0
+	q.mu.Unlock()
+	q.flushMu.Unlock()
 	if kick {
 		q.kick()
 	}
@@ -361,11 +747,18 @@ func (q *egressQueue) clear() {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.buf) > 0 {
-		q.m.EgressDrops.Add(int64(len(q.buf)))
-		q.buf = nil
-		q.bytes = 0
+	dropped := q.queuedLocked()
+	if dropped == 0 {
+		return
 	}
+	q.m.EgressDrops.Add(int64(dropped))
+	q.buf, q.bytes = nil, 0
+	if q.sched != nil {
+		q.sched = newEgressSched()
+	}
+	q.releaseSlots(dropped)
+	q.stalled = false
+	q.oldest = time.Time{}
 }
 
 // pending reports how many packets are queued (tests, backpressure probes).
@@ -375,7 +768,7 @@ func (q *egressQueue) pending() int {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf)
+	return q.queuedLocked()
 }
 
 // noteDepth maintains the high-water depth gauge.

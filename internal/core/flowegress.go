@@ -1,0 +1,232 @@
+package core
+
+import (
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// egressSched is the priority-aware egress scheduler used by
+// flow-controlled queues. It replaces the plain FIFO buffer with a
+// structure that preserves exactly the invariants the overlay needs —
+// per-stream FIFO, and order-sensitive control as barriers — while freeing
+// everything else for scheduling:
+//
+//	control lane  order-free control (heartbeat relays) flushes ahead of
+//	              everything, so liveness traffic is never pinned behind
+//	              credit-stalled data;
+//	priority      among data streams sharing the link, higher
+//	              StreamSpec.Priority flushes first;
+//	round-robin   streams of equal priority alternate packet-for-packet,
+//	              so one hot stream cannot starve its siblings.
+//
+// Order-sensitive control (stream setup/teardown, shutdown) seals the
+// current EPOCH: everything enqueued before it flushes first, the barrier
+// itself next, then the following epoch — the same FIFO position the flat
+// buffer gave it, with scheduling scoped to within an epoch. A stream's
+// packets split across epochs still drain in epoch order, so per-stream
+// FIFO holds unconditionally.
+//
+// All methods are called with the owning egressQueue's mu held.
+type egressSched struct {
+	// retained holds the unsent remainder of a failed flush, already in
+	// final wire order; it re-flushes ahead of everything scheduled after
+	// it (the packets were logically on the wire when the link died).
+	retained []*packet.Packet
+	// ctrl is the order-free control lane.
+	ctrl []*packet.Packet
+	// epochs is the barrier-ordered sequence; the last may be open
+	// (barrier == nil) and accepts new data.
+	epochs []*schedEpoch
+	// count is the total queued packets (data + control + barriers).
+	count int
+	// data counts the queued data packets alone — the occupancy the link
+	// window bounds (control consumes no slots), and what the high-water
+	// gauge reports in flow-controlled mode.
+	data int
+}
+
+type schedEpoch struct {
+	barrier *packet.Packet
+	streams map[uint32]*schedStream
+	order   []*schedStream
+	rr      int // rotation cursor for equal-priority fairness
+	n       int // data packets remaining in the epoch
+}
+
+type schedStream struct {
+	id   uint32
+	prio int
+	ps   []*packet.Packet
+	off  int
+}
+
+func newEgressSched() *egressSched { return &egressSched{} }
+
+// retireAndGrant records that the receiving pipeline finished n inbound
+// data packets from fl and, once the link's grant threshold is crossed,
+// returns the whole accumulation to the peer as one compact grant —
+// sent directly on the link, never through an egress queue, because
+// grants are order-free and must not wait behind (possibly stalled)
+// data. This is the single implementation of the credit-return protocol,
+// shared by shard workers, the front-end router, and BackEnd.Recv.
+func retireAndGrant(m *Metrics, fl *transport.FlowLink, n int) {
+	if fl == nil || n == 0 {
+		return
+	}
+	if g := fl.Retire(n); g > 0 {
+		m.CreditGrants.Add(1)
+		_ = fl.Send(packet.NewCreditGrant(uint32(g)))
+	}
+}
+
+// add enqueues p. ctrl marks a sendNow control packet: order-free ops go
+// to the control lane, order-sensitive ops seal the open epoch as a
+// barrier. Data lands in the open epoch's per-stream FIFO at prio.
+func (s *egressSched) add(p *packet.Packet, prio int, ctrl bool) {
+	s.count++
+	if !ctrl {
+		s.data++
+	}
+	if ctrl && p.Tag == packet.TagControl {
+		if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
+			s.ctrl = append(s.ctrl, p)
+			return
+		}
+		// Order-sensitive control: seal the open epoch (creating an empty
+		// one if nothing is queued — the barrier still orders against
+		// whatever comes after).
+		e := s.open()
+		e.barrier = p
+		return
+	}
+	e := s.open()
+	st := e.streams[p.StreamID]
+	if st == nil {
+		st = &schedStream{id: p.StreamID, prio: prio}
+		e.streams[st.id] = st
+		e.order = append(e.order, st)
+	}
+	st.ps = append(st.ps, p)
+	e.n++
+}
+
+// open returns the tail epoch, creating one if none is open.
+func (s *egressSched) open() *schedEpoch {
+	if n := len(s.epochs); n > 0 && s.epochs[n-1].barrier == nil {
+		return s.epochs[n-1]
+	}
+	e := &schedEpoch{streams: map[uint32]*schedStream{}}
+	s.epochs = append(s.epochs, e)
+	return e
+}
+
+// restore puts the unsent remainder of a failed flush back at the head of
+// the schedule, in its already-decided wire order.
+func (s *egressSched) restore(ps []*packet.Packet) {
+	if len(ps) == 0 {
+		return
+	}
+	s.retained = append(append([]*packet.Packet(nil), ps...), s.retained...)
+	s.count += len(ps)
+	for _, p := range ps {
+		if p.Tag != packet.TagControl {
+			s.data++
+		}
+	}
+}
+
+// pick returns the epoch's next data packet source: the first non-empty
+// stream of maximal priority in rotation order from the cursor, so equal
+// priorities round-robin and higher priorities always win.
+func (e *schedEpoch) pick() *schedStream {
+	n := len(e.order)
+	best, bestPrio := -1, 0
+	for i := 0; i < n; i++ {
+		idx := (e.rr + i) % n
+		st := e.order[idx]
+		if st.off >= len(st.ps) {
+			continue
+		}
+		if best == -1 || st.prio > bestPrio {
+			best, bestPrio = idx, st.prio
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	e.rr = best + 1
+	return e.order[best]
+}
+
+// take selects the next wire batch: retained remainder first, then the
+// control lane, then epoch by epoch — streams by priority, round-robin
+// within a priority, the epoch's barrier last. With fl non-nil and bypass
+// false, one send credit is acquired per data packet; when the peer's
+// window runs dry selection stops and stalled reports it (everything not
+// selected stays queued exactly where it was). Returns the batch, its
+// encoded byte total, and how many data packets it carries (their
+// occupancy slots are released by the flusher once the wire accepts them).
+func (s *egressSched) take(fl *transport.FlowLink, bypass bool) (ps []*packet.Packet, total, nData int, stalled bool) {
+	needCredit := func() bool { return fl != nil && !bypass }
+	// Order-free control first — even ahead of the retained remainder: a
+	// credit-stalled retained head must never pin a heartbeat relay.
+	for _, p := range s.ctrl {
+		ps = append(ps, p)
+		total += p.EncodedSize() + 4
+		s.count--
+	}
+	s.ctrl = nil
+	for len(s.retained) > 0 {
+		p := s.retained[0]
+		if p.Tag != packet.TagControl {
+			if needCredit() && !fl.TryAcquire() {
+				return ps, total, nData, true
+			}
+			nData++
+			s.data--
+		}
+		s.retained[0] = nil
+		s.retained = s.retained[1:]
+		s.count--
+		ps = append(ps, p)
+		total += p.EncodedSize() + 4
+	}
+	if len(s.retained) == 0 {
+		s.retained = nil
+	}
+	for len(s.epochs) > 0 {
+		e := s.epochs[0]
+		for e.n > 0 {
+			st := e.pick()
+			if st == nil {
+				break // defensive: n out of sync cannot wedge the flusher
+			}
+			if needCredit() && !fl.TryAcquire() {
+				return ps, total, nData, true
+			}
+			p := st.ps[st.off]
+			st.ps[st.off] = nil
+			st.off++
+			if st.off == len(st.ps) {
+				st.ps, st.off = nil, 0
+			}
+			e.n--
+			s.count--
+			s.data--
+			nData++
+			ps = append(ps, p)
+			total += p.EncodedSize() + 4
+		}
+		if e.barrier != nil {
+			ps = append(ps, e.barrier)
+			total += e.barrier.EncodedSize() + 4
+			e.barrier = nil
+			s.count--
+		}
+		s.epochs = s.epochs[1:]
+	}
+	if len(s.epochs) == 0 {
+		s.epochs = nil
+	}
+	return ps, total, nData, false
+}

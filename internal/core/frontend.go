@@ -37,6 +37,10 @@ type feState struct {
 	// inbox is the router's ingress channel (set by run); its backlog is
 	// the pressure signal that decides inline execution vs shard dispatch.
 	inbox chan inMsg
+	// ctrlLane is the order-free control ingress (heartbeat beacons): it
+	// bypasses the data inbox so detection keeps working however saturated
+	// the data plane is.
+	ctrlLane chan *packet.Packet
 
 	// epMu guards ep.Children, which recovery grows when the front-end
 	// adopts the orphans of a failed child; Multicast and NewStream read
@@ -104,7 +108,10 @@ func (fe *feState) childLinks() []transport.Link {
 }
 
 // installChild places a link at the given child slot, building a new
-// slice so concurrent childLinks readers keep a consistent snapshot.
+// slice so concurrent childLinks readers keep a consistent snapshot. The
+// displaced link's credit state is aborted: user goroutines blocked on its
+// window (Multicast into a failed subtree) wake up and let their sends
+// observe the link's real state.
 func (fe *feState) installChild(slot int, l transport.Link) {
 	fe.epMu.Lock()
 	n := len(fe.ep.Children)
@@ -113,9 +120,18 @@ func (fe *feState) installChild(slot int, l transport.Link) {
 	}
 	next := make([]transport.Link, n)
 	copy(next, fe.ep.Children)
+	var old transport.Link
+	if slot < len(fe.ep.Children) {
+		old = fe.ep.Children[slot]
+	}
 	next[slot] = l
 	fe.ep.Children = next
 	fe.epMu.Unlock()
+	if old != nil && old != l {
+		if fl := flowOf(old); fl != nil {
+			fl.Abort()
+		}
+	}
 }
 
 // sendToStream fans a packet out to the stream's participating children.
@@ -125,6 +141,13 @@ func (fe *feState) installChild(slot int, l transport.Link) {
 // rather than surfaced: the subtree is inside its failure window and
 // adoption will re-route it, so the loss is the same transient in-flight
 // loss the recovery model already covers.
+//
+// With flow control on, each data send first acquires one credit from the
+// child link's window, blocking the CALLER — a user goroutine inside
+// Multicast — when the window is exhausted. That is the end-to-end
+// backpressure story: a slow subtree throttles the producer itself, with
+// at most one window of data in flight per link. Control traffic (stream
+// setup/teardown) never consumes credits.
 func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
 	var down []bool
 	var links []transport.Link
@@ -140,16 +163,33 @@ func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
 			break
 		}
 	}
+	data := p.Tag != packet.TagControl
 	var first error
 	for i, l := range links {
 		if l == nil || i >= len(down) || !down[i] {
 			continue
 		}
-		if err := l.Send(p); err != nil && first == nil {
-			if fe.nw.recoverable() && errors.Is(err, transport.ErrClosed) {
-				continue
+		var fl *transport.FlowLink
+		if data {
+			if fl = flowOf(l); fl != nil {
+				// Aborted acquire (network teardown) falls through to the
+				// send, which surfaces the real link state.
+				fl.Acquire(fe.nw.dying, nil)
 			}
-			first = err
+		}
+		if err := l.Send(p); err != nil {
+			if fl != nil {
+				// The packet never went out: refund its credit, or a dead
+				// child's window would leak empty and wedge later
+				// multicasts to its healthy siblings.
+				fl.Refund(1)
+			}
+			if first == nil {
+				if fe.nw.recoverable() && errors.Is(err, transport.ErrClosed) {
+					continue
+				}
+				first = err
+			}
 		}
 	}
 	return first
@@ -162,16 +202,25 @@ func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
 func (fe *feState) run() {
 	inbox := make(chan inMsg, 4*(len(fe.ep.Children)+1))
 	fe.inbox = inbox
+	fe.ctrlLane = make(chan *packet.Packet, ctrlLaneDepth)
 	defer func() {
 		close(fe.readStop)
 		fe.shards.abort()
 	}()
 	for i, c := range fe.ep.Children {
-		go readLink(c, i, inbox, fe.readStop)
+		go readLink(c, i, inbox, fe.ctrlLane, fe.readStop)
 	}
 	live := len(fe.ep.Children)
 loop:
 	for {
+		// Control lane first: beacons must reach the detector however deep
+		// the data backlog is.
+		select {
+		case p := <-fe.ctrlLane:
+			fe.handleOrderFree(p)
+			continue
+		default:
+		}
 		if live <= 0 {
 			// On a recoverable network all children being gone may just
 			// mean every root child crashed at once: stay up, the
@@ -196,6 +245,8 @@ loop:
 				continue
 			}
 			fe.handleUp(m.child, m.ps)
+		case p := <-fe.ctrlLane:
+			fe.handleOrderFree(p)
 		case c := <-fe.cmdCh:
 			live += fe.handleAdopt(c, inbox)
 		case a := <-fe.attachCh:
@@ -219,7 +270,7 @@ func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
 	// Park the pipeline shards: applyAdoption rebuilds synchronizers and
 	// replays composed state through filters the workers otherwise own.
 	fe.shards.quiesce(func() {
-		applyAdoption(c, fe.ep, fe.nw.registry, fe.installChild, states, fe.flushBatches, inbox, fe.readStop)
+		applyAdoption(c, fe.ep, fe.nw.registry, fe.installChild, states, fe.flushBatches, inbox, fe.ctrlLane, fe.readStop)
 	})
 	fe.adoptSeq.Add(1) // even again: links and routing consistent
 	c.reply <- nil
@@ -238,7 +289,7 @@ func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
 		ss.growSlots(a.slot + 1)
 	}
 	fe.adoptSeq.Add(1) // even again: links and routing consistent
-	go readLink(a.link, a.slot, inbox, fe.readStop)
+	go readLink(a.link, a.slot, inbox, fe.ctrlLane, fe.readStop)
 	if fe.nw.tearingDown() {
 		// The newcomer raced a shutdown whose announcement sweep may have
 		// snapshotted the links before this install: pass the
@@ -248,19 +299,29 @@ func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
 	return 1
 }
 
+// handleOrderFree processes one control-lane packet at the root: beacons
+// feed the failure detector.
+func (fe *feState) handleOrderFree(p *packet.Packet) {
+	if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
+		if origin, err := parseHeartbeat(p); err == nil {
+			fe.nw.noteHeartbeat(origin)
+		}
+	}
+}
+
 // handleUp walks one upstream frame in arrival order, dispatching maximal
 // same-stream runs of data packets to the stream's pipeline shard; control
 // packets break runs, and a stream's runs land in one shard's FIFO
 // mailbox, so per-link, per-stream FIFO semantics are preserved.
 func (fe *feState) handleUp(child int, ps []*packet.Packet) {
+	var src *transport.FlowLink
+	if links := fe.childLinks(); child < len(links) {
+		src = flowOf(links[child])
+	}
 	for i := 0; i < len(ps); {
 		p := ps[i]
 		if p.Tag == packet.TagControl {
-			if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
-				if origin, err := parseHeartbeat(p); err == nil {
-					fe.nw.noteHeartbeat(origin)
-				}
-			}
+			fe.handleOrderFree(p)
 			i++
 			continue
 		}
@@ -270,12 +331,19 @@ func (fe *feState) handleUp(child int, ps []*packet.Packet) {
 		fe.nw.metrics.PacketsUp.Add(int64(len(run)))
 		ss := fe.state(p.StreamID)
 		if ss == nil {
-			// Unknown (e.g. just-closed) stream: drop; there is no
-			// receiver.
+			// Unknown (e.g. just-closed) stream: drop — there is no
+			// receiver — but still retire the packets so the sender's
+			// credits come back.
+			fe.retireNow(src, len(run))
 			continue
 		}
-		fe.shards.up(ss, child, run, fe.backlogged())
+		fe.shards.up(ss, child, run, fe.backlogged(), src)
 	}
+}
+
+// retireNow retires n dropped inbound packets from router context.
+func (fe *feState) retireNow(fl *transport.FlowLink, n int) {
+	retireAndGrant(&fe.nw.metrics, fl, n)
 }
 
 // backlogged mirrors node.backlogged at the root: dispatch to workers only
@@ -285,8 +353,11 @@ func (fe *feState) backlogged() bool {
 }
 
 // shardUp runs the root-level pipeline for one run. Called from the
-// stream's shard worker.
+// stream's up-lane worker (or the router's inline fast path); takes the
+// stream's pipeline lock itself.
 func (fe *feState) shardUp(ss *streamState, child int, run []*packet.Packet) {
+	ss.pipeMu.Lock()
+	defer ss.pipeMu.Unlock()
 	fe.flushBatches(ss, ss.addBatch(child, run))
 }
 
@@ -298,12 +369,19 @@ func (fe *feState) shardUpRaw([]*packet.Packet) {}
 // traffic, it never routes it.
 func (fe *feState) shardDown(*streamState, *packet.Packet) {}
 
-// shardClose is unused at the root: Stream.Close tears down via control
-// multicast plus a forget item.
-func (fe *feState) shardClose(*streamState, *packet.Packet) {}
+// shardDownRaw is unused at the root for the same reason.
+func (fe *feState) shardDownRaw(*packet.Packet) {}
+
+// shardCloseUp / shardCloseDown are unused at the root: Stream.Close
+// tears down via control multicast plus a forget item.
+func (fe *feState) shardCloseUp(*streamState) {}
+
+func (fe *feState) shardCloseDown(*streamState, *packet.Packet) {}
 
 // shardPoll releases a stream's time-triggered batches.
 func (fe *feState) shardPoll(ss *streamState, now time.Time) {
+	ss.pipeMu.Lock()
+	defer ss.pipeMu.Unlock()
 	fe.flushBatches(ss, ss.poll(now))
 }
 

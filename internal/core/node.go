@@ -52,6 +52,12 @@ type node struct {
 	// inbox is the router's ingress channel; its backlog is the pressure
 	// signal that decides inline execution vs shard dispatch.
 	inbox chan inMsg
+	// ctrlLane is the second ingress lane: readers divert order-free
+	// control (heartbeat relays) here, so liveness traffic flows even while
+	// the data inbox is saturated — it can never be head-of-line blocked
+	// behind data frames. Credit grants never reach either lane: the
+	// transport absorbs them at the receive edge.
+	ctrlLane chan *packet.Packet
 
 	// Egress queues, one per link, shared by the router and the shards
 	// (each queue serializes internally). parentOut retains its buffer
@@ -100,9 +106,11 @@ func (n *node) run() {
 	n.streams = map[uint32]*streamState{}
 	inbox := make(chan inMsg, 4*(len(n.ep.Children)+1))
 	n.inbox = inbox
+	n.ctrlLane = make(chan *packet.Packet, ctrlLaneDepth)
 	n.readStop = make(chan struct{})
 	n.egKick = make(chan struct{}, 1)
 	n.shards = newShardPool(n.nw.shardCount(), n, &n.nw.metrics)
+	n.shards.noInline = n.nw.flowOn()
 	defer func() {
 		// Whatever path the router exits by — graceful finish, crash, an
 		// abandoned subtree — the readers and workers must not outlive it.
@@ -110,20 +118,23 @@ func (n *node) run() {
 		n.shards.abort()
 	}()
 
-	// Egress queues wrap every link; with batching disabled they forward
-	// directly, so the un-batched hot path is unchanged.
+	// Egress queues wrap every link; with batching and flow control both
+	// disabled they forward directly, so the un-batched hot path is
+	// unchanged.
 	pol := n.nw.cfg.Batch
 	kick := kickFunc(n.egKick)
 	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable(), kick)
+	n.parentOut.bindStops(n.killCh, n.nw.dying)
 	n.childOut = make([]*egressQueue, len(n.ep.Children))
 	for i, c := range n.ep.Children {
 		n.childOut[i] = newEgressQueue(c, pol, &n.nw.metrics, false, kick)
+		n.childOut[i].bindStops(n.killCh, n.nw.dying)
 	}
 
 	// Reader goroutines: one per link, feeding the event loop.
-	go readLink(n.ep.Parent, -1, inbox, n.readStop)
+	go readLink(n.ep.Parent, -1, inbox, n.ctrlLane, n.readStop)
 	for i, c := range n.ep.Children {
-		go readLink(c, i, inbox, n.readStop)
+		go readLink(c, i, inbox, n.ctrlLane, n.readStop)
 	}
 	n.liveChildren = len(n.ep.Children)
 
@@ -133,6 +144,14 @@ func (n *node) run() {
 	// are the shards' concern now.
 	fast := 0
 	for {
+		// Control lane first: order-free control must flow however deep the
+		// data backlog is.
+		select {
+		case p := <-n.ctrlLane:
+			n.handleOrderFree(p)
+			continue
+		default:
+		}
 		// Fast path: while messages are ready, handle them without the
 		// deadline scan and timer allocation of the full select.
 		if fast < 1024 {
@@ -174,6 +193,11 @@ func (n *node) run() {
 			if done := n.handle(m); done {
 				return
 			}
+		case p := <-n.ctrlLane:
+			if timer != nil {
+				timer.Stop()
+			}
+			n.handleOrderFree(p)
 		case <-n.egKick:
 			// A shard gave an egress queue a deadline the scan above did
 			// not see: fall through and recompute.
@@ -234,12 +258,19 @@ func (n *node) parentLink() transport.Link {
 // with nil placeholders if slots were assigned out of order. The slot's
 // egress queue follows the link: a replacement link gets a fresh queue and
 // a fenced-off slot (nil link) drops whatever was still queued to the dead
-// child. Callers must hold the shards quiesced: the childOut slice is read
-// lock-free by the pipeline workers.
+// child. The displaced link's credit state is aborted so nothing keeps
+// waiting on a window the dead peer can never refill. Callers must hold
+// the shards quiesced: the childOut slice is read lock-free by the
+// pipeline workers.
 func (n *node) installChild(slot int, l transport.Link) {
 	n.epMu.Lock()
 	for len(n.ep.Children) <= slot {
 		n.ep.Children = append(n.ep.Children, nil)
+	}
+	if old := n.ep.Children[slot]; old != nil && old != l {
+		if fl := flowOf(old); fl != nil {
+			fl.Abort()
+		}
 	}
 	n.ep.Children[slot] = l
 	n.epMu.Unlock()
@@ -252,6 +283,7 @@ func (n *node) installChild(slot int, l transport.Link) {
 		return
 	}
 	n.childOut[slot] = newEgressQueue(l, n.nw.cfg.Batch, &n.nw.metrics, false, kickFunc(n.egKick))
+	n.childOut[slot].bindStops(n.killCh, n.nw.dying)
 }
 
 // addChild installs a dynamically attached back-end's link as a new child
@@ -261,7 +293,7 @@ func (n *node) installChild(slot int, l transport.Link) {
 func (n *node) addChild(a attachMsg, inbox chan inMsg) {
 	// installChild grows the childOut slice the shards traverse while
 	// fanning multicasts out; attach is rare, so park the data plane.
-	n.shards.quiesce(func() {
+	n.quiesceShards(func() {
 		n.installChild(a.slot, a.link)
 		for _, ss := range n.streams {
 			ss.growSlots(a.slot + 1)
@@ -273,16 +305,64 @@ func (n *node) addChild(a attachMsg, inbox chan inMsg) {
 		// terminates like everyone else.
 		_ = a.link.Send(packet.MustNew(packet.TagControl, 0, n.rank, ctrlShutdownFormat, int64(opShutdown)))
 	}
-	go readLink(a.link, a.slot, inbox, n.readStop)
+	go readLink(a.link, a.slot, inbox, n.ctrlLane, n.readStop)
+}
+
+// ctrlLaneDepth buffers the order-free control lane. It only fills when
+// the router itself is wedged for a long stretch; beacons are periodic, so
+// dropping the overflow is strictly better than blocking the reader.
+const ctrlLaneDepth = 256
+
+// orderFreeControl reports whether p is control traffic with no data-plane
+// ordering semantics (today: heartbeat beacons). Such packets ride the
+// ingress control lane, bypassing the data inbox entirely.
+func orderFreeControl(p *packet.Packet) bool {
+	if p.Tag != packet.TagControl {
+		return false
+	}
+	op, err := ctrlOp(p)
+	return err == nil && op == opHeartbeat
+}
+
+// splitOrderFree diverts order-free control packets in ps to the control
+// lane (dropping them if it is full — they are periodic and lossy-safe)
+// and returns the remaining packets in order. The common all-data frame
+// costs one scan and no allocation.
+func splitOrderFree(ps []*packet.Packet, ctrl chan<- *packet.Packet) []*packet.Packet {
+	split := false
+	for _, p := range ps {
+		if p.Tag == packet.TagControl && orderFreeControl(p) {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return ps
+	}
+	kept := ps[:0]
+	for _, p := range ps {
+		if orderFreeControl(p) {
+			select {
+			case ctrl <- p:
+			default:
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
 }
 
 // readLink pumps frames from a link into the inbox, sending a nil-slice
 // sentinel at EOF. A nil link (the root's parent) sends nothing. Reading
 // whole frames means one inbox message — and one event-loop wakeup — per
-// link flush instead of per packet. stop covers the owner exiting without
-// draining the inbox (kill, abandoned subtree): a reader must never stay
-// blocked on a channel nobody reads.
-func readLink(l transport.Link, slot int, inbox chan<- inMsg, stop <-chan struct{}) {
+// link flush instead of per packet. Order-free control is diverted to the
+// ctrl lane before the (possibly blocking) inbox delivery, which is the
+// receive half of the two-lane ingress: a saturated data path cannot
+// head-of-line-block liveness traffic. stop covers the owner exiting
+// without draining the inbox (kill, abandoned subtree): a reader must
+// never stay blocked on a channel nobody reads.
+func readLink(l transport.Link, slot int, inbox chan<- inMsg, ctrl chan<- *packet.Packet, stop <-chan struct{}) {
 	if l == nil {
 		return
 	}
@@ -294,6 +374,11 @@ func readLink(l transport.Link, slot int, inbox chan<- inMsg, stop <-chan struct
 			case <-stop:
 			}
 			return
+		}
+		if ctrl != nil {
+			if ps = splitOrderFree(ps, ctrl); len(ps) == 0 {
+				continue
+			}
 		}
 		// Fast path: a buffered non-blocking send costs one channel
 		// operation; the two-way select only runs when the inbox is full
@@ -309,6 +394,38 @@ func readLink(l transport.Link, slot int, inbox chan<- inMsg, stop <-chan struct
 		case <-stop:
 			return
 		}
+	}
+}
+
+// quiesceShards parks the data plane for fn with a guarantee the barrier
+// always forms: pipeline workers may be blocked on a flow-control window
+// (a dead peer's, or simply a saturated one), and a parked router cannot
+// deliver the grants or EOFs that would free them — so every owned
+// queue's slot waiters are released first (each blocked worker overflows
+// its one in-hand packet, finishes its item, and parks), and the hard
+// bound is re-armed once the shards resume. The transient excursion is at
+// most one packet per worker per quiesce.
+func (n *node) quiesceShards(fn func()) {
+	n.parentOut.releaseWaiters()
+	for _, q := range n.childOut {
+		q.releaseWaiters()
+	}
+	n.shards.quiesce(fn)
+	n.parentOut.rearmWaiters()
+	for _, q := range n.childOut {
+		q.rearmWaiters()
+	}
+}
+
+// handleOrderFree processes one control-lane packet on the router:
+// heartbeat beacons relay toward the front-end with flush-through (their
+// detection latency compounds per level, and they carry no ordering
+// semantics, so jumping ahead of shard-pending or credit-stalled data is
+// safe). An orphan drops the relay — the dead parent link would have
+// dropped it anyway.
+func (n *node) handleOrderFree(p *packet.Packet) {
+	if op, err := ctrlOp(p); err == nil && op == opHeartbeat && !n.orphaned {
+		_ = n.parentOut.sendNow(p)
 	}
 }
 
@@ -342,7 +459,11 @@ func (n *node) handleFromParent(ps []*packet.Packet) bool {
 		}
 		if n.nw.recoverable() && !n.shuttingDown {
 			// Parent crashed: hold the subtree together and wait for the
-			// grandparent to adopt us (the zero-cost recovery model).
+			// grandparent to adopt us (the zero-cost recovery model). Any
+			// worker waiting on the dead parent's window must be released
+			// first, or it never reaches the quiesce barrier the coming
+			// reparent needs.
+			n.parentOut.releaseWaiters()
 			n.orphaned = true
 			return false
 		}
@@ -350,6 +471,7 @@ func (n *node) handleFromParent(ps []*packet.Packet) bool {
 		n.closeAll()
 		return true
 	}
+	src := flowOf(n.ep.Parent)
 	for _, p := range ps {
 		if p.Tag == packet.TagControl {
 			if done := n.handleControl(p); done {
@@ -363,31 +485,37 @@ func (n *node) handleFromParent(ps []*packet.Packet) bool {
 		// per-stream downstream order is preserved.
 		n.nw.metrics.PacketsDown.Add(1)
 		if ss, ok := n.streams[p.StreamID]; ok {
-			n.shards.down(ss, p, n.backlogged())
+			n.shards.down(ss, p, n.backlogged(), src)
 			continue
 		}
 		// Unknown stream: flood (control may still be propagating on
 		// another path in reconfiguration scenarios; flooding is always
-		// safe).
-		for _, q := range n.childOut {
-			if q != nil {
-				_ = q.send(p)
-			}
-		}
+		// safe). Routed through the id's shard so the router stays off the
+		// (window-bounded) egress path.
+		n.shards.downRaw(p.StreamID, p, src)
 	}
 	return false
+}
+
+// flowOf extracts a link's credit accounting, nil when flow control is off.
+func flowOf(l transport.Link) *transport.FlowLink {
+	fl, _ := l.(*transport.FlowLink)
+	return fl
 }
 
 // sendDownstream fans a packet out to the stream's participating children
 // through their egress queues. Safe from shard workers: routing comes from
 // the stream's snapshot and the childOut slice only changes under quiesce.
+// Called only from pipeline workers, so blocking on a child's window is
+// the intended backpressure (it stalls retirement, which stalls the
+// upstream sender).
 func (n *node) sendDownstream(ss *streamState, p *packet.Packet) {
 	down := ss.routeSnapshot()
 	for i, q := range n.childOut {
 		if q == nil || i >= len(down) || !down[i] {
 			continue
 		}
-		_ = q.send(p)
+		_ = q.sendCtx(p, ss.prio, true)
 	}
 }
 
@@ -411,7 +539,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 	}
 	switch op {
 	case opNewStream:
-		id, tform, sync, downTform, members, err := parseNewStream(p)
+		id, tform, sync, downTform, prio, members, err := parseNewStream(p)
 		if err != nil {
 			return false
 		}
@@ -420,7 +548,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			// that already carries the stream must keep its filter state.
 			return false
 		}
-		ss, err := newStreamState(n.nw, n.rank, n.nw.registry, id, tform, sync, downTform, members)
+		ss, err := newStreamState(n.nw, n.rank, n.nw.registry, id, tform, sync, downTform, prio, members)
 		if err != nil {
 			// Unknown filter at this node: degrade to pass-through so data
 			// still flows; the front-end surfaced the same error to the
@@ -451,7 +579,7 @@ func (n *node) handleControl(p *packet.Packet) bool {
 		// accepted before the announcement is through its pipeline and in
 		// an egress queue, so the announcement keeps its exact per-link
 		// FIFO position, just as the serial loop preserved it.
-		n.shards.quiesce(func() {})
+		n.quiesceShards(func() {})
 		for _, q := range n.childOut {
 			if q != nil {
 				_ = q.sendNow(p)
@@ -468,6 +596,12 @@ func (n *node) handleControl(p *packet.Packet) bool {
 func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 	if ps == nil {
 		n.liveChildren--
+		// The child's link is dead: release any worker waiting on its
+		// window (nothing can refill it; the slot stays as-is until the
+		// child's own recovery fences or replaces it).
+		if child < len(n.childOut) {
+			n.childOut[child].releaseWaiters()
+		}
 		if n.shuttingDown && n.liveChildren == 0 {
 			n.finish()
 			return true
@@ -479,18 +613,22 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 	// packets and stream changes break runs, and a stream's runs land in
 	// one shard's FIFO mailbox, so per-link, per-stream semantics are
 	// exactly those of packet-at-a-time processing.
+	var src *transport.FlowLink
+	if child < len(n.ep.Children) {
+		src = flowOf(n.ep.Children[child])
+	}
 	for i := 0; i < len(ps); {
 		p := ps[i]
 		if p.Tag == packet.TagControl {
-			// Upstream control (heartbeats today) relays toward the
-			// front-end with flush-through: a beacon must never wait out a
-			// batching window — or a shard mailbox — since detection
-			// latency compounds per level. Beacons carry no data-ordering
-			// semantics, so relaying ahead of shard-pending data is safe.
-			// An orphan drops the relay (the dead parent link would have
-			// dropped it anyway) so stale beacons cannot displace retained
-			// data packets from the egress buffer.
-			if !n.orphaned {
+			// Upstream order-free control is normally diverted by the
+			// reader; anything that still lands here relays toward the
+			// front-end with flush-through as before. An orphan drops the
+			// relay (the dead parent link would have dropped it anyway) so
+			// stale beacons cannot displace retained data packets from the
+			// egress buffer.
+			if orderFreeControl(p) {
+				n.handleOrderFree(p)
+			} else if !n.orphaned {
 				_ = n.parentOut.sendNow(p)
 			}
 			i++
@@ -505,10 +643,10 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 			// Stream unknown here (e.g. closed): pass through unfiltered,
 			// via the shard the id hashes to so late data stays behind a
 			// just-dispatched close drain.
-			n.shards.upRaw(p.StreamID, run)
+			n.shards.upRaw(p.StreamID, run, src)
 			continue
 		}
-		n.shards.up(ss, child, run, n.backlogged())
+		n.shards.up(ss, child, run, n.backlogged(), src)
 	}
 	return false
 }
@@ -523,9 +661,12 @@ func (n *node) backlogged() bool {
 }
 
 // shardUp runs the upstream pipeline for one run: synchronize, transform,
-// egress. Called from the stream's shard worker.
+// egress. Called from the stream's up-lane worker (or the router's inline
+// fast path); takes the stream's pipeline lock itself.
 func (n *node) shardUp(ss *streamState, child int, run []*packet.Packet) {
-	n.flushBatches(ss, ss.addBatch(child, run))
+	ss.pipeMu.Lock()
+	defer ss.pipeMu.Unlock()
+	n.flushBatchesCtx(ss, ss.addBatch(child, run), true)
 }
 
 // shardUpRaw forwards a pass-through run (stream not carried here).
@@ -535,12 +676,28 @@ func (n *node) shardUpRaw(run []*packet.Packet) {
 	}
 }
 
-// shardDown runs the downstream pipeline for one packet: down-transform,
-// then multicast to participating children.
+// shardDownRaw floods an unknown-stream downstream packet to every child
+// (reconfiguration window; flooding is always safe). Runs on the shard
+// worker so a window-bounded child queue blocks the pipeline, never the
+// router.
+func (n *node) shardDownRaw(p *packet.Packet) {
+	for _, q := range n.childOut {
+		if q != nil {
+			_ = q.send(p)
+		}
+	}
+}
+
+// shardDown runs the downstream pipeline for one packet: down-transform
+// under the pipeline lock, then multicast to participating children with
+// the lock released — the fan-out may block on a child's flow-control
+// window, and a blocked fan-out must not pin the stream's upstream lane.
 func (n *node) shardDown(ss *streamState, p *packet.Packet) {
 	outs := []*packet.Packet{p}
 	if ss.downTform != nil {
+		ss.pipeMu.Lock()
 		transformed, err := ss.downTform.Transform(outs)
+		ss.pipeMu.Unlock()
 		if err != nil {
 			n.nw.metrics.FilterErrors.Add(1)
 			return
@@ -552,21 +709,39 @@ func (n *node) shardDown(ss *streamState, p *packet.Packet) {
 	}
 }
 
-// shardClose completes a stream teardown inside its shard: release
-// anything the synchronizer holds (so time-window policies do not lose
-// data), then forward the close downstream behind it.
-func (n *node) shardClose(ss *streamState, p *packet.Packet) {
-	n.flushBatches(ss, ss.drain())
+// shardCloseUp is the up half of a stream teardown: release anything the
+// synchronizer holds (so time-window policies do not lose data).
+func (n *node) shardCloseUp(ss *streamState) {
+	ss.pipeMu.Lock()
+	defer ss.pipeMu.Unlock()
+	n.flushBatchesCtx(ss, ss.drain(), true)
+}
+
+// shardCloseDown forwards the close downstream behind the stream's prior
+// downstream data (its down-lane FIFO position).
+func (n *node) shardCloseDown(ss *streamState, p *packet.Packet) {
 	n.sendDownstreamNow(ss, p)
 }
 
 // shardPoll releases a stream's time-triggered batches.
 func (n *node) shardPoll(ss *streamState, now time.Time) {
-	n.flushBatches(ss, ss.poll(now))
+	ss.pipeMu.Lock()
+	defer ss.pipeMu.Unlock()
+	n.flushBatchesCtx(ss, ss.poll(now), true)
 }
 
-// flushBatches transforms released batches and forwards the results upstream.
+// flushBatches transforms released batches and forwards the results
+// upstream from ROUTER context (recovery replay, final drains): it may
+// transiently overflow the parent window rather than block the control
+// plane. Worker context goes through flushBatchesCtx(…, true).
 func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
+	n.flushBatchesCtx(ss, batches, false)
+}
+
+// flushBatchesCtx transforms released batches and forwards the results
+// upstream. block selects between the pipeline workers' hard window bound
+// and the router's overflow mode.
+func (n *node) flushBatchesCtx(ss *streamState, batches [][]*packet.Packet, block bool) {
 	for _, batch := range batches {
 		if len(batch) == 0 {
 			continue
@@ -578,7 +753,7 @@ func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 			continue
 		}
 		for _, q := range out {
-			_ = n.parentOut.send(q.WithStreamSrc(ss.id, n.rank))
+			_ = n.parentOut.sendCtx(q.WithStreamSrc(ss.id, n.rank), ss.prio, block)
 		}
 	}
 }

@@ -102,7 +102,7 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 	switch cmd := c.(type) {
 	case *cmdSnapshot:
 		m := map[uint32][]byte{}
-		n.shards.quiesce(func() {
+		n.quiesceShards(func() {
 			for id, ss := range n.streams {
 				if st, ok := ss.tform.(filter.StatefulTransformation); ok {
 					if blob, err := st.State(); err == nil && len(blob) > 0 {
@@ -117,8 +117,14 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		for _, ss := range n.streams {
 			states = append(states, ss)
 		}
-		n.shards.quiesce(func() {
-			applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox, n.readStop)
+		// The dead child's EOF may still be queued behind data: release any
+		// worker waiting on its window NOW, or it never reaches the quiesce
+		// barrier below.
+		if cmd.deadSlot >= 0 && cmd.deadSlot < len(n.childOut) {
+			n.childOut[cmd.deadSlot].releaseWaiters()
+		}
+		n.quiesceShards(func() {
+			applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox, n.ctrlLane, n.readStop)
 		})
 		n.liveChildren += len(cmd.links)
 		if n.shuttingDown {
@@ -135,11 +141,21 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 			cmd.reply <- err
 			return
 		}
+		if n.nw.flowOn() {
+			// Fresh link, fresh credit window on both sides: the retained
+			// egress buffer re-enters the bounded window from zero without
+			// double-spending credits.
+			link = transport.NewFlowLink(link, n.nw.cfg.LinkWindow)
+		}
+		// The old parent is dead or being replaced, but its EOF may not
+		// have been processed yet: release any worker waiting on its
+		// window before quiescing, or the barrier never forms.
+		n.parentOut.releaseWaiters()
 		// Park the shards for the link swap: workers send on parentOut
 		// concurrently, and the un-batched fast path reads the queue's
 		// link lock-free — safe only because every link mutation happens
 		// with the data plane stopped.
-		n.shards.quiesce(func() {
+		n.quiesceShards(func() {
 			n.parentMu.Lock()
 			old := n.ep.Parent
 			n.ep.Parent = link
@@ -152,7 +168,7 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 			// data survives the failure instead of being lost with the link.
 			n.parentOut.setLink(link)
 		})
-		go readLink(link, -1, inbox, n.readStop)
+		go readLink(link, -1, inbox, n.ctrlLane, n.readStop)
 		cmd.reply <- nil
 	}
 }
@@ -169,7 +185,8 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 // counts, shutdown racing) around it.
 func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
 	install func(slot int, l transport.Link), states []*streamState,
-	flush func(*streamState, [][]*packet.Packet), inbox chan inMsg, readStop <-chan struct{}) {
+	flush func(*streamState, [][]*packet.Packet), inbox chan inMsg,
+	ctrl chan *packet.Packet, readStop <-chan struct{}) {
 	if c.deadSlot >= 0 && c.deadSlot < len(ep.Children) {
 		transport.DropLink(ep.Children[c.deadSlot])
 		install(c.deadSlot, nil)
@@ -178,7 +195,7 @@ func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
 		install(c.slots[i], l)
 	}
 	for i, l := range c.links {
-		go readLink(l, c.slots[i], inbox, readStop)
+		go readLink(l, c.slots[i], inbox, ctrl, readStop)
 	}
 	repairStreams(reg, states, c, flush)
 }
@@ -607,6 +624,11 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 			if err != nil {
 				reparented[i] = false
 				return
+			}
+			if nw.flowOn() {
+				// The adopter-side end of a replacement link gets fresh
+				// credit accounting, mirroring the orphan's fresh window.
+				l = transport.NewFlowLink(l, nw.cfg.LinkWindow)
 			}
 			links[i] = l
 			nw.metrics.RewiredLinks.Add(1)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/transport"
 )
 
 // The stream-sharded data plane splits each routing process (the front-end
@@ -18,10 +19,21 @@ import (
 //
 //   - Each SHARD owns the filter pipeline — synchronizer → transformation →
 //     egress — for a fixed subset of streams (streams hash to shards by
-//     stream id), consuming work from a bounded FIFO mailbox fed by the
+//     stream id), consuming work from an unbounded FIFO mailbox fed by the
 //     router. A stream's packets are always dispatched to the same shard in
 //     arrival order, so per-stream FIFO is preserved while distinct streams
 //     filter concurrently on distinct cores.
+//
+// The mailbox being unbounded is what keeps the router a pure control
+// plane: dispatch never blocks, so control traffic (recovery commands,
+// attach, heartbeat relays, credit grants) can never be head-of-line
+// blocked behind a slow pipeline. Mailbox occupancy is still bounded —
+// by the flow-control protocol rather than a channel capacity: with
+// Config.LinkWindow set, each inbound link can have at most one window of
+// un-retired packets in the mailboxes, because the shard worker grants
+// credits back only as it finishes items (see retire below). With flow
+// control off, the mailbox absorbs whatever the links deliver — the
+// pre-credit memory model, kept as the ablation baseline.
 //
 // This is what makes a stream's filter state single-writer: exactly one
 // shard goroutine touches a streamState's synchronizer and transformation —
@@ -32,16 +44,23 @@ import (
 // enqueue order, which keeps control packets behind data the router
 // already accepted and per-stream data in order (single shard per stream).
 
-// shardItem kinds.
+// shardItem kinds. Each shard runs TWO lanes — upstream and downstream —
+// with independent workers, because the directions have no mutual
+// ordering requirement and sharing one FIFO would couple them into a
+// deadlock under flow control: a down-worker blocked on a slow consumer's
+// window must never pin the upstream retirements that very consumer's
+// sends are waiting for (the request-reply cycle).
 const (
-	itemUp       = iota // upstream data run through the stream's pipeline
-	itemUpRaw           // upstream pass-through (stream unknown/closing at this node)
-	itemDown            // downstream packet through the stream's down-transform
-	itemClose           // drain the stream and forward its close downstream
-	itemRegister        // track a new stream for time-based polling
-	itemForget          // drop the stream from the shard's poll set (front-end close)
-	itemPause           // park at the quiesce barrier until released
-	itemStop            // graceful worker exit (drainStop)
+	itemUp        = iota // upstream data run through the stream's pipeline
+	itemUpRaw            // upstream pass-through (stream unknown/closing at this node)
+	itemDown             // downstream packet through the stream's down-transform
+	itemDownRaw          // downstream flood (stream unknown at this node)
+	itemCloseUp          // drain the stream's synchronizer (up half of a close)
+	itemCloseDown        // forward the close downstream behind prior down data
+	itemRegister         // track a new stream for time-based polling
+	itemForget           // drop the stream from the shard's poll set (front-end close)
+	itemPause            // park at the quiesce barrier until released
+	itemStop             // graceful worker exit (drainStop)
 )
 
 // shardItem is one unit of mailbox work.
@@ -53,6 +72,11 @@ type shardItem struct {
 	ps    []*packet.Packet
 	p     *packet.Packet
 	pause *shardPause
+	// src is the flow-controlled link the work arrived on (nil with flow
+	// control off): the worker retires the packets against it once the
+	// pipeline has actually finished them, which is what hands the peer
+	// its credits back.
+	src *transport.FlowLink
 }
 
 // shardPause is the two-phase quiesce rendezvous: the worker signals
@@ -64,25 +88,29 @@ type shardPause struct {
 
 // shardOps is the per-stream pipeline work a shard executes on behalf of
 // its owner; implemented by node (internal processes) and feState (root).
-// Calls arrive from exactly one shard goroutine per stream.
+// Calls arrive from exactly one up-lane goroutine and one down-lane
+// goroutine per stream; each implementation takes the stream's pipeMu
+// around its filter-state access itself (never across a blocking egress
+// fan-out), which is what lets the two lanes share a stream safely.
 type shardOps interface {
 	shardUp(ss *streamState, child int, run []*packet.Packet)
 	shardUpRaw(run []*packet.Packet)
 	shardDown(ss *streamState, p *packet.Packet)
-	shardClose(ss *streamState, p *packet.Packet)
+	shardDownRaw(p *packet.Packet)
+	shardCloseUp(ss *streamState)
+	shardCloseDown(ss *streamState, p *packet.Packet)
 	shardPoll(ss *streamState, now time.Time)
 }
-
-// shardMailbox bounds each shard's pending work items (an item is a whole
-// same-stream run, not a packet). A full mailbox blocks the router — the
-// same backpressure a slow serial event loop used to exert on its links.
-const shardMailbox = 256
 
 // shardPool runs the pipeline workers for one routing process.
 type shardPool struct {
 	ops    shardOps
 	m      *Metrics
 	shards []*shard
+	// noInline disables the router's inline fast path. Flow-controlled
+	// networks set it: pipeline execution can block on a link window, and
+	// the router must never block — workers absorb the waiting instead.
+	noInline bool
 	// stop aborts every worker (crash path); drainStop uses per-shard
 	// sentinels instead so queued work completes first.
 	stop     chan struct{}
@@ -90,16 +118,32 @@ type shardPool struct {
 	wg       sync.WaitGroup
 }
 
+// lane is one unbounded FIFO mailbox. notify (capacity 1) wakes the
+// lane's worker after a push; spurious wakeups are cheap and lost ones
+// impossible (push always leaves either a token or a visible item).
+type lane struct {
+	mu     sync.Mutex
+	q      []shardItem
+	notify chan struct{}
+	// qHW is the lane's high-water mark, mirrored into the global gauge
+	// only on new records.
+	qHW int
+}
+
 type shard struct {
 	pool *shardPool
-	in   chan shardItem
-	// kick wakes the worker to rescan stream deadlines after the router's
-	// inline fast path gave a synchronizer a timer the worker has not
-	// seen (the analogue of the egress queues' kick toward the router).
+	// up carries upstream pipeline work (plus stream bookkeeping); down
+	// carries downstream fan-out work. Independent workers drain them, so
+	// a down fan-out blocked on a slow consumer's window cannot pin the
+	// upstream retirements that consumer's own sends wait for.
+	up, down lane
+	// kick wakes the up worker to rescan stream deadlines after the
+	// router's inline fast path gave a synchronizer a timer the worker has
+	// not seen (the analogue of the egress queues' kick toward the router).
 	kick chan struct{}
 	// streams tracks the shard's live streams for time-based polling:
 	// registered at stream creation, learned from dispatched work, and
-	// trimmed by close/forget. Touched only by the worker goroutine.
+	// trimmed by close/forget. Touched only by the up-lane goroutine.
 	streams map[uint32]*streamState
 }
 
@@ -114,13 +158,15 @@ func newShardPool(n int, ops shardOps, m *Metrics) *shardPool {
 	for i := 0; i < n; i++ {
 		sh := &shard{
 			pool:    sp,
-			in:      make(chan shardItem, shardMailbox),
 			kick:    make(chan struct{}, 1),
 			streams: map[uint32]*streamState{},
 		}
+		sh.up.notify = make(chan struct{}, 1)
+		sh.down.notify = make(chan struct{}, 1)
 		sp.shards = append(sp.shards, sh)
-		sp.wg.Add(1)
-		go sh.run()
+		sp.wg.Add(2)
+		go sh.runUp()
+		go sh.runDown()
 	}
 	return sp
 }
@@ -136,19 +182,72 @@ func (sp *shardPool) shardFor(id uint32) *shard {
 	return sp.shards[h%uint32(len(sp.shards))]
 }
 
-// dispatch enqueues an item, giving up only if the pool is aborted (a
-// crashed owner whose workers are gone must not wedge the producer).
-// Pipeline work counts toward ShardDispatches — the inline-vs-dispatched
-// split — while bookkeeping items (register/forget/pause/stop) do not.
-func (sp *shardPool) dispatch(sh *shard, it shardItem) {
-	switch it.kind {
-	case itemUp, itemUpRaw, itemDown, itemClose:
-		sp.m.ShardDispatches.Add(1)
+// push appends an item to the lane and wakes its worker. Never blocks:
+// the lane is unbounded (see the package comment for why its occupancy
+// is still bounded under flow control).
+func (ln *lane) push(m *Metrics, it shardItem) {
+	ln.mu.Lock()
+	ln.q = append(ln.q, it)
+	n := len(ln.q)
+	grew := n > ln.qHW
+	if grew {
+		ln.qHW = n
+	}
+	ln.mu.Unlock()
+	if grew {
+		noteShardDepth(m, n)
 	}
 	select {
-	case sh.in <- it:
-	case <-sp.stop:
+	case ln.notify <- struct{}{}:
+	default:
 	}
+}
+
+// pop removes the lane head.
+func (ln *lane) pop() (shardItem, bool) {
+	ln.mu.Lock()
+	if len(ln.q) == 0 {
+		ln.mu.Unlock()
+		return shardItem{}, false
+	}
+	it := ln.q[0]
+	ln.q[0] = shardItem{}
+	ln.q = ln.q[1:]
+	if len(ln.q) == 0 {
+		ln.q = nil // release the drained backing array
+	}
+	ln.mu.Unlock()
+	return it, true
+}
+
+// noteShardDepth maintains the global mailbox high-water gauge.
+func noteShardDepth(m *Metrics, d int) {
+	for {
+		cur := m.ShardQueueHighWater.Load()
+		if int64(d) <= cur || m.ShardQueueHighWater.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// laneFor routes an item kind to its lane.
+func (sh *shard) laneFor(kind int) *lane {
+	switch kind {
+	case itemDown, itemDownRaw, itemCloseDown:
+		return &sh.down
+	}
+	return &sh.up
+}
+
+// dispatch enqueues an item on its direction's lane. Pipeline work counts
+// toward ShardDispatches — the inline-vs-dispatched split — while
+// bookkeeping items (register/forget/pause/stop) do not.
+func (sp *shardPool) dispatch(sh *shard, it shardItem) {
+	switch it.kind {
+	case itemUp, itemUpRaw, itemDown, itemDownRaw, itemCloseUp, itemCloseDown:
+		sp.m.ShardDispatches.Add(1)
+	}
+	sh.laneFor(it.kind).push(sp.m, it)
 }
 
 // tryInline is the router's serial-loop fast path: when nothing is
@@ -156,15 +255,18 @@ func (sp *shardPool) dispatch(sh *shard, it shardItem) {
 // dispatcher, so nothing can appear concurrently) and the caller reports
 // no backlog worth parallelizing, the pipeline runs on the router's own
 // goroutine — zero mailbox hops and zero cross-goroutine wakeups, exactly
-// the pre-sharding cost. fn runs under the stream's pipeline lock; if it
-// leaves the synchronizer with a timer, the stream's shard is kicked to
-// pick the deadline up (the worker owns all time-based polling).
+// the pre-sharding cost. fn takes the stream's pipeline lock itself (the
+// shardOps contract); if it leaves the synchronizer with a timer, the
+// stream's shard is kicked to pick the deadline up (the up worker owns
+// all time-based polling). Flow-controlled pools never inline: the
+// pipeline may block on a link window, and the router must stay
+// unblockable.
 func (sp *shardPool) tryInline(ss *streamState, backlogged bool, fn func()) bool {
-	if backlogged || ss.pending.Load() != 0 {
+	if sp.noInline || backlogged || ss.pending.Load() != 0 {
 		return false
 	}
-	ss.pipeMu.Lock()
 	fn()
+	ss.pipeMu.Lock()
 	d := ss.deadline()
 	ss.pipeMu.Unlock()
 	sp.m.ShardInline.Add(1)
@@ -180,38 +282,48 @@ func (sp *shardPool) tryInline(ss *streamState, backlogged bool, fn func()) bool
 
 // up routes an upstream run: inline when the stream is idle and the
 // router unpressured, else through the stream's shard mailbox.
-func (sp *shardPool) up(ss *streamState, child int, run []*packet.Packet, backlogged bool) {
-	if sp.tryInline(ss, backlogged, func() { sp.ops.shardUp(ss, child, run) }) {
+func (sp *shardPool) up(ss *streamState, child int, run []*packet.Packet, backlogged bool, src *transport.FlowLink) {
+	if src == nil && sp.tryInline(ss, backlogged, func() { sp.ops.shardUp(ss, child, run) }) {
 		return
 	}
 	ss.pending.Add(1)
-	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemUp, ss: ss, child: child, ps: run})
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemUp, ss: ss, child: child, ps: run, src: src})
 }
 
 // upRaw routes a pass-through run by stream id alone: the id hashes to the
 // same shard that carried the stream while it existed, so data arriving
 // behind a close keeps its order relative to the close's drain (always
 // dispatched — the close it chases rides the same mailbox).
-func (sp *shardPool) upRaw(id uint32, run []*packet.Packet) {
-	sp.dispatch(sp.shardFor(id), shardItem{kind: itemUpRaw, id: id, ps: run})
+func (sp *shardPool) upRaw(id uint32, run []*packet.Packet, src *transport.FlowLink) {
+	sp.dispatch(sp.shardFor(id), shardItem{kind: itemUpRaw, id: id, ps: run, src: src})
 }
 
 // down routes a downstream packet, inline under the same policy as up.
-func (sp *shardPool) down(ss *streamState, p *packet.Packet, backlogged bool) {
-	if sp.tryInline(ss, backlogged, func() { sp.ops.shardDown(ss, p) }) {
+func (sp *shardPool) down(ss *streamState, p *packet.Packet, backlogged bool, src *transport.FlowLink) {
+	if src == nil && sp.tryInline(ss, backlogged, func() { sp.ops.shardDown(ss, p) }) {
 		return
 	}
 	ss.pending.Add(1)
-	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemDown, ss: ss, p: p})
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemDown, ss: ss, p: p, src: src})
 }
 
-// closeStream always dispatches: the worker must also retire the stream
-// from its poll set, and closes are rare. FIFO holds — inline work
-// completed synchronously before this enqueue, dispatched work precedes
-// it in the mailbox.
+// downRaw routes an unknown-stream downstream flood through the id's
+// shard, keeping the router off the (possibly window-bounded) egress path.
+func (sp *shardPool) downRaw(id uint32, p *packet.Packet, src *transport.FlowLink) {
+	sp.dispatch(sp.shardFor(id), shardItem{kind: itemDownRaw, id: id, p: p, src: src})
+}
+
+// closeStream always dispatches: the up worker must also retire the
+// stream from its poll set, and closes are rare. The close splits across
+// the lanes — the synchronizer drain rides the up lane (behind every
+// prior upstream run) and the downstream forward rides the down lane
+// (behind every prior downstream packet); the halves carry no mutual
+// ordering requirement.
 func (sp *shardPool) closeStream(ss *streamState, p *packet.Packet) {
-	ss.pending.Add(1)
-	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemClose, ss: ss, p: p})
+	ss.pending.Add(2)
+	sh := sp.shardFor(ss.id)
+	sp.dispatch(sh, shardItem{kind: itemCloseUp, ss: ss})
+	sp.dispatch(sh, shardItem{kind: itemCloseDown, ss: ss, p: p})
 }
 
 // register tracks a just-created stream for time-based polling, so a
@@ -232,16 +344,19 @@ func (sp *shardPool) forget(id uint32) {
 // and rebuild synchronizers, and shutdown propagation keep its exact FIFO
 // position behind in-flight data.
 func (sp *shardPool) quiesce(fn func()) {
+	select {
+	case <-sp.stop:
+		fn() // aborted pool: the workers are gone, nothing to park
+		return
+	default:
+	}
 	var arrived sync.WaitGroup
 	release := make(chan struct{})
 	pause := &shardPause{arrived: &arrived, release: release}
 	for _, sh := range sp.shards {
-		arrived.Add(1)
-		select {
-		case sh.in <- shardItem{kind: itemPause, pause: pause}:
-		case <-sp.stop:
-			arrived.Done() // aborted pool: nothing to park
-		}
+		arrived.Add(2)
+		sh.up.push(sp.m, shardItem{kind: itemPause, pause: pause})
+		sh.down.push(sp.m, shardItem{kind: itemPause, pause: pause})
 	}
 	arrived.Wait()
 	fn()
@@ -252,13 +367,11 @@ func (sp *shardPool) quiesce(fn func()) {
 // is processed, then each worker exits. Only the owning router may call it
 // (it must be the sole remaining dispatcher). The pool is marked stopped
 // afterwards so stragglers (a user-goroutine forget racing shutdown)
-// cannot block on a mailbox nobody reads.
+// cannot wedge on state nobody owns.
 func (sp *shardPool) drainStop() {
 	for _, sh := range sp.shards {
-		select {
-		case sh.in <- shardItem{kind: itemStop}:
-		case <-sp.stop:
-		}
+		sh.up.push(sp.m, shardItem{kind: itemStop})
+		sh.down.push(sp.m, shardItem{kind: itemStop})
 	}
 	sp.wg.Wait()
 	sp.stopOnce.Do(func() { close(sp.stop) })
@@ -273,22 +386,24 @@ func (sp *shardPool) abort() {
 	sp.wg.Wait()
 }
 
-// run is the shard worker loop: drain ready mailbox items, then wait for
-// more work or the earliest synchronizer deadline among this shard's
-// streams. The fast-iteration cap bounds how long a busy mailbox can defer
-// time-based releases, mirroring the router's loop discipline.
-func (sh *shard) run() {
+// runUp is the up-lane worker loop: drain ready items, then wait for more
+// work or the earliest synchronizer deadline among this shard's streams
+// (all time-based polling lives on the up lane — synchronizer windows are
+// upstream state). The fast-iteration cap bounds how long a busy mailbox
+// can defer time-based releases, mirroring the router's loop discipline.
+func (sh *shard) runUp() {
 	defer sh.pool.wg.Done()
 	fast := 0
 	for {
 		if fast < 1024 {
-			select {
-			case it := <-sh.in:
+			if it, ok := sh.up.pop(); ok {
 				fast++
-				if done := sh.handle(it); done {
+				if done := sh.handleUp(it); done {
 					return
 				}
 				continue
+			}
+			select {
 			case <-sh.pool.stop:
 				return
 			default:
@@ -307,12 +422,10 @@ func (sh *shard) run() {
 			timerC = timer.C
 		}
 		select {
-		case it := <-sh.in:
+		case <-sh.up.notify:
+			// New mailbox items: loop back and pop them.
 			if timer != nil {
 				timer.Stop()
-			}
-			if done := sh.handle(it); done {
-				return
 			}
 		case <-sh.kick:
 			// An inline run armed a synchronizer timer: fall through and
@@ -331,36 +444,80 @@ func (sh *shard) run() {
 	}
 }
 
-// handle executes one mailbox item, returning true when the worker should
-// exit. Stream-scoped work takes the stream's pipeline lock (mutual
-// exclusion with the router's inline fast path) and releases its pending
-// count once done.
-func (sh *shard) handle(it shardItem) bool {
+// runDown is the down-lane worker loop: pure FIFO over downstream
+// fan-outs, no timers (downstream filters hold no windowed state).
+func (sh *shard) runDown() {
+	defer sh.pool.wg.Done()
+	for {
+		if it, ok := sh.down.pop(); ok {
+			if done := sh.handleDown(it); done {
+				return
+			}
+			continue
+		}
+		select {
+		case <-sh.down.notify:
+		case <-sh.pool.stop:
+			return
+		}
+	}
+}
+
+// retire hands the peer its credits back for n finished inbound packets
+// (see retireAndGrant).
+func (sh *shard) retire(fl *transport.FlowLink, n int) {
+	retireAndGrant(sh.pool.m, fl, n)
+}
+
+// handleUp executes one up-lane item, returning true when the worker
+// should exit. The ops take the stream's pipeline lock internally; the
+// item releases its pending count once done, and flow-controlled items
+// then retire against their source link — the packets are finished only
+// now, which is what makes the grant a statement about pipeline progress
+// rather than queue occupancy.
+func (sh *shard) handleUp(it shardItem) bool {
 	switch it.kind {
 	case itemUp:
 		sh.track(it.ss)
-		it.ss.pipeMu.Lock()
 		sh.pool.ops.shardUp(it.ss, it.child, it.ps)
-		it.ss.pipeMu.Unlock()
 		it.ss.pending.Add(-1)
+		sh.retire(it.src, len(it.ps))
 	case itemUpRaw:
 		sh.pool.ops.shardUpRaw(it.ps)
-	case itemDown:
-		sh.track(it.ss)
-		it.ss.pipeMu.Lock()
-		sh.pool.ops.shardDown(it.ss, it.p)
-		it.ss.pipeMu.Unlock()
-		it.ss.pending.Add(-1)
-	case itemClose:
+		sh.retire(it.src, len(it.ps))
+	case itemCloseUp:
 		delete(sh.streams, it.ss.id)
-		it.ss.pipeMu.Lock()
-		sh.pool.ops.shardClose(it.ss, it.p)
-		it.ss.pipeMu.Unlock()
+		sh.pool.ops.shardCloseUp(it.ss)
 		it.ss.pending.Add(-1)
 	case itemRegister:
 		sh.track(it.ss)
 	case itemForget:
 		delete(sh.streams, it.id)
+	case itemPause:
+		it.pause.arrived.Done()
+		select {
+		case <-it.pause.release:
+		case <-sh.pool.stop:
+		}
+	case itemStop:
+		return true
+	}
+	return false
+}
+
+// handleDown executes one down-lane item.
+func (sh *shard) handleDown(it shardItem) bool {
+	switch it.kind {
+	case itemDown:
+		sh.pool.ops.shardDown(it.ss, it.p)
+		it.ss.pending.Add(-1)
+		sh.retire(it.src, 1)
+	case itemDownRaw:
+		sh.pool.ops.shardDownRaw(it.p)
+		sh.retire(it.src, 1)
+	case itemCloseDown:
+		sh.pool.ops.shardCloseDown(it.ss, it.p)
+		it.ss.pending.Add(-1)
 	case itemPause:
 		it.pause.arrived.Done()
 		select {
@@ -386,9 +543,7 @@ func (sh *shard) track(ss *streamState) {
 func (sh *shard) poll() {
 	now := time.Now()
 	for _, ss := range sh.streams {
-		ss.pipeMu.Lock()
 		sh.pool.ops.shardPoll(ss, now)
-		ss.pipeMu.Unlock()
 	}
 }
 

@@ -30,6 +30,13 @@ type StreamSpec struct {
 	DownTransformation string
 	// RecvBuffer sets the front-end delivery buffer (packets); 0 = 1024.
 	RecvBuffer int
+	// Priority is the stream's egress scheduling priority on
+	// flow-controlled networks (Config.LinkWindow > 0): on every link,
+	// queued data from higher-priority streams flushes first, and streams
+	// of equal priority round-robin so no stream starves. 0 is the
+	// default class; negative values yield to it. Ignored when flow
+	// control is off (egress is then plain FIFO).
+	Priority int
 }
 
 // Stream is a virtual channel between the front-end and a set of member
@@ -95,7 +102,7 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 	// every known stream, leaving it permanently mis-routed.
 	nw.recMu.Lock()
 	ss, err := newStreamState(nw, 0, nw.registry, id,
-		spec.Transformation, spec.Synchronization, spec.DownTransformation, members)
+		spec.Transformation, spec.Synchronization, spec.DownTransformation, spec.Priority, members)
 	if err != nil {
 		nw.recMu.Unlock()
 		return nil, err
@@ -125,7 +132,7 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 
 	// Announce downstream along member paths only.
 	ctrl := newStreamPacket(id, spec.Transformation, spec.Synchronization,
-		spec.DownTransformation, members)
+		spec.DownTransformation, spec.Priority, members)
 	if err := nw.fe.sendToStream(ss, ctrl); err != nil {
 		return nil, fmt.Errorf("core: announcing stream %d: %w", id, err)
 	}

@@ -78,6 +78,9 @@ type streamState struct {
 	tformName, syncName, downName string
 	memberList                    []Rank
 	members                       map[Rank]bool
+	// prio is the stream's egress scheduling priority (StreamSpec.Priority,
+	// carried by the announcement so every level schedules consistently).
+	prio int
 
 	// pipeMu serializes pipeline execution — synchronizer, transformation,
 	// egress, drain, poll — between the router's inline fast path and the
@@ -112,7 +115,7 @@ type streamState struct {
 // newStreamState instantiates filters and routing for a stream at the node
 // with the given rank. members must be back-end ranks.
 func newStreamState(nw *Network, rank Rank, reg *filter.Registry,
-	id uint32, tformName, syncName, downTformName string, members []Rank) (*streamState, error) {
+	id uint32, tformName, syncName, downTformName string, prio int, members []Rank) (*streamState, error) {
 
 	tf, err := reg.NewTransformation(tformName)
 	if err != nil {
@@ -143,6 +146,7 @@ func newStreamState(nw *Network, rank Rank, reg *filter.Registry,
 		downName:   downTformName,
 		memberList: append([]Rank(nil), members...),
 		members:    memberSet,
+		prio:       prio,
 	}
 	ss.rebuildSlots(nw.slotInfoAt(rank))
 	return ss, nil
@@ -223,7 +227,7 @@ func (ss *streamState) growSlots(n int) {
 // announcePacket rebuilds the opNewStream control message for this stream,
 // used to (re-)establish it in adopted subtrees during recovery.
 func (ss *streamState) announcePacket() *packet.Packet {
-	return newStreamPacket(ss.id, ss.tformName, ss.syncName, ss.downName, ss.memberList)
+	return newStreamPacket(ss.id, ss.tformName, ss.syncName, ss.downName, ss.prio, ss.memberList)
 }
 
 // syncSlot maps a child link slot to the synchronizer's dense slot space

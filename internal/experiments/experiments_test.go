@@ -377,3 +377,41 @@ func TestBatchingSpeedup(t *testing.T) {
 	}
 	t.Errorf("batching speedup %.2fx, want >= 1.5x", ratio)
 }
+
+// TestFlowControlAblationShape: the credit-window × slow-consumer sweep
+// runs end to end, the flow-controlled rows honor the window bound on the
+// egress gauge, and the protocol visibly engages under the slow consumer.
+func TestFlowControlAblationShape(t *testing.T) {
+	cfg := FlowControlConfig{
+		Leaves:      16,
+		FanOut:      4,
+		Windows:     []int{0, 8},
+		SlowFactors: []int{1, 50},
+		Rounds:      60,
+		PerPacket:   5 * time.Microsecond,
+	}
+	rows, err := RunFlowControl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rate <= 0 {
+			t.Errorf("window %d slow %d: rate %v", r.Window, r.SlowFactor, r.Rate)
+		}
+		if r.Window > 0 {
+			if r.EgressHighWater > int64(r.Window) {
+				t.Errorf("window %d slow %d: egress high-water %d exceeds the window",
+					r.Window, r.SlowFactor, r.EgressHighWater)
+			}
+			if r.CreditGrants == 0 {
+				t.Errorf("window %d slow %d: no grants; flow control never engaged", r.Window, r.SlowFactor)
+			}
+		} else if r.CreditStalls != 0 || r.CreditGrants != 0 {
+			t.Errorf("baseline row moved credit counters: %+v", r)
+		}
+	}
+	t.Logf("\n%s", FlowControlTable(cfg, rows))
+}

@@ -1,0 +1,30 @@
+package packet
+
+// Credit-grant control packets are the return half of the overlay's
+// credit-based flow control (see internal/transport's FlowLink and DESIGN.md
+// §8): a receiver that has retired n data packets from a link direction
+// hands the sender n fresh send credits by emitting one grant on the
+// reverse direction. Grants are order-free — they carry no data-plane
+// semantics and may overtake or trail any other traffic on the link — so
+// transports absorb them at the receive edge before frames reach routing
+// code.
+//
+// The encoding is deliberately compact: a grant is a header-only packet
+// (no format string, no payload) whose StreamID field carries the credit
+// count, so a grant costs the minimal 17-byte wire header and zero payload
+// encode/decode work on the hot reverse path.
+
+// NewCreditGrant builds a credit-grant packet returning n send credits.
+// n must be positive; the count travels in the header's StreamID field.
+func NewCreditGrant(n uint32) *Packet {
+	return &Packet{Tag: TagCredit, StreamID: n}
+}
+
+// CreditGrantValue reports whether p is a credit grant and, if so, how many
+// credits it returns.
+func CreditGrantValue(p *Packet) (uint32, bool) {
+	if p == nil || p.Tag != TagCredit {
+		return 0, false
+	}
+	return p.StreamID, true
+}

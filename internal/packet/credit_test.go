@@ -1,0 +1,74 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCreditGrantRoundTrip: a grant survives the wire, keeps its count, and
+// costs exactly the minimal header — the compactness the reverse path
+// depends on.
+func TestCreditGrantRoundTrip(t *testing.T) {
+	for _, n := range []uint32{1, 7, 1 << 20, ^uint32(0)} {
+		g := NewCreditGrant(n)
+		if v, ok := CreditGrantValue(g); !ok || v != n {
+			t.Fatalf("CreditGrantValue(NewCreditGrant(%d)) = %d, %v", n, v, ok)
+		}
+		enc := g.Encode()
+		if len(enc) != minEncodedPacket {
+			t.Errorf("grant encodes to %d bytes, want the minimal header %d", len(enc), minEncodedPacket)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoding grant: %v", err)
+		}
+		if v, ok := CreditGrantValue(dec); !ok || v != n {
+			t.Errorf("decoded grant carries %d, %v; want %d, true", v, ok, n)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Error("grant encode not stable across a decode cycle")
+		}
+	}
+}
+
+// TestCreditGrantValueRejectsOthers: ordinary control and data packets are
+// never mistaken for grants (the tag, not the shape, is the discriminator).
+func TestCreditGrantValueRejectsOthers(t *testing.T) {
+	for _, p := range []*Packet{
+		nil,
+		MustNew(TagControl, 3, 0, "%d", int64(1)),
+		MustNew(TagFirstApplication, 3, 0, "%d", int64(1)),
+		MustNew(TagAck, 9, 0, ""),
+	} {
+		if v, ok := CreditGrantValue(p); ok {
+			t.Errorf("CreditGrantValue(%v) = %d, true; want false", p, v)
+		}
+	}
+}
+
+// TestCreditGrantInFrame: grants batch into frames alongside data packets
+// and come back intact — the reverse direction of a link is an ordinary
+// frame stream.
+func TestCreditGrantInFrame(t *testing.T) {
+	ps := []*Packet{
+		NewCreditGrant(16),
+		MustNew(TagFirstApplication, 2, 1, "%d", int64(42)),
+		NewCreditGrant(3),
+	}
+	dec, err := DecodeFrame(EncodeFrame(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 {
+		t.Fatalf("frame decoded to %d packets, want 3", len(dec))
+	}
+	if v, ok := CreditGrantValue(dec[0]); !ok || v != 16 {
+		t.Errorf("first packet: grant %d, %v; want 16, true", v, ok)
+	}
+	if _, ok := CreditGrantValue(dec[1]); ok {
+		t.Error("data packet mistaken for a grant")
+	}
+	if v, ok := CreditGrantValue(dec[2]); !ok || v != 3 {
+		t.Errorf("third packet: grant %d, %v; want 3, true", v, ok)
+	}
+}

@@ -14,6 +14,8 @@ func FuzzDecode(f *testing.F) {
 		MustNew(101, 7, 3, "%d %f %s", int64(-1), 2.5, "x"),
 		MustNew(102, 7, 3, "%ad %af %as %ac",
 			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
+		NewCreditGrant(32),
+		NewCreditGrant(^uint32(0)),
 	}
 	for _, p := range seeds {
 		f.Add(p.Encode())
@@ -51,6 +53,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		single,
 		MustNew(102, 7, 3, "%ad %af %as %ac",
 			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
+		NewCreditGrant(64),
 	}
 	f.Add(EncodeFrame(nil))
 	f.Add(EncodeFrame(batch[:1]))

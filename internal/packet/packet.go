@@ -33,6 +33,10 @@ const (
 	TagAck
 	// TagEvent carries failure/recovery event notifications.
 	TagEvent
+	// TagCredit marks credit-grant messages of the flow-control protocol
+	// (see credit.go). Grants are order-free link-local control: transports
+	// absorb them at the receive edge, so they never reach routing code.
+	TagCredit
 	// TagFirstApplication is the first tag available to applications.
 	TagFirstApplication int32 = 100
 )

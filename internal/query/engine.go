@@ -274,6 +274,12 @@ func WithBatch(p core.BatchPolicy) Option {
 	return func(c *core.Config) { c.Batch = p }
 }
 
+// WithLinkWindow enables credit-based flow control on the engine's overlay
+// with the given per-link window (see core.Config.LinkWindow).
+func WithLinkWindow(w int) Option {
+	return func(c *core.Config) { c.LinkWindow = w }
+}
+
 // NewEngine builds an overlay whose back-ends evaluate queries against the
 // given attribute source (invoked per request, so values may change
 // between queries). The engine owns the network; call Close when done.
@@ -353,6 +359,10 @@ func (e *Engine) Run(text string, timeout time.Duration) (*Result, error) {
 	}
 	return finalize(q, pt), nil
 }
+
+// MetricsSnapshot returns the overlay's counters as a name -> value map
+// (egress high-water, credit stalls/grants, frames, …) for tooling.
+func (e *Engine) MetricsSnapshot() map[string]int64 { return e.nw.Metrics().Snapshot() }
 
 // Close shuts the underlying overlay down.
 func (e *Engine) Close() error { return e.nw.Shutdown() }

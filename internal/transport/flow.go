@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
+
+// FlowLink layers credit-based flow-control accounting over any Link, on
+// any fabric: the wrapper is pure bookkeeping around the wrapped link's
+// Send/Recv, so the chan and TCP transports (and anything interposed on
+// them, like the simnet cost model) get identical credit semantics.
+//
+// Each direction of a link is governed by a fixed window W of send credits:
+//
+//   - The SENDER side holds a pool of W credit tokens. Every data packet it
+//     puts on the wire must first acquire one (TryAcquire / Acquire), so at
+//     most W data packets can be "in flight" — on the wire or un-retired at
+//     the receiver — per direction. Control traffic never consumes credits.
+//
+//   - The RECEIVER side calls Retire as its pipeline actually finishes
+//     packets (not merely enqueues them). Retirements accumulate and, once
+//     a quarter-window has built up, Retire hands the caller a grant total
+//     to return to the peer as one compact TagCredit packet — batching the
+//     reverse traffic without risking deadlock (a stalled sender has W
+//     un-granted packets at the receiver, and W ≥ the grant threshold, so
+//     the threshold is always eventually crossed).
+//
+//   - Inbound grants are absorbed inside Recv/RecvBatch and refill the
+//     sender pool directly, waking any Acquire-blocked sender; they are
+//     invisible above the transport.
+//
+// Both ends of a link wrap independently (each process wraps its own end),
+// and a replacement link minted by recovery or attach gets a fresh wrapper
+// — which is exactly how credit state is rebuilt after a rewire: the new
+// window starts full on the sender side and unretired on the receiver side,
+// so retained buffers re-entering the window cannot double-spend credits.
+type FlowLink struct {
+	Link
+	window int
+	// tokens is the sender-side credit pool: a buffered channel used as a
+	// counting semaphore, which makes Acquire abortable by arbitrary stop
+	// channels. Sending into it takes a credit; draining it returns one.
+	tokens chan struct{}
+	// retired accumulates receiver-side retirements since the last grant.
+	retired atomic.Int64
+	// refillHook, when set, is invoked after inbound grants refill the
+	// pool — the egress queue's stall/resume wakeup.
+	refillHook atomic.Pointer[func()]
+	// dead releases blocked Acquire callers once the link is known
+	// finished (closed, dropped, or replaced after a failure): credits
+	// from a dead peer are never coming, so waiting is pointless — the
+	// caller proceeds and lets the send surface the link's real state.
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+// NewFlowLink wraps l with a credit window of w packets per direction.
+// w must be positive.
+func NewFlowLink(l Link, w int) *FlowLink {
+	if w < 1 {
+		w = 1
+	}
+	f := &FlowLink{Link: l, window: w, tokens: make(chan struct{}, w), dead: make(chan struct{})}
+	return f
+}
+
+// Abort marks the link finished, releasing every blocked Acquire (they
+// proceed and let the send itself fail). Idempotent; implied by Close and
+// Drop, and called explicitly when recovery replaces a failed link.
+func (f *FlowLink) Abort() {
+	f.deadOnce.Do(func() { close(f.dead) })
+}
+
+// Window returns the link's per-direction credit window.
+func (f *FlowLink) Window() int { return f.window }
+
+// Inner returns the wrapped link.
+func (f *FlowLink) Inner() Link { return f.Link }
+
+// grantThreshold is how many retirements accumulate before Retire releases
+// a grant: a quarter window batches the reverse traffic 4:1 while staying
+// safely below the window (the deadlock-freedom condition).
+func (f *FlowLink) grantThreshold() int64 {
+	t := int64(f.window) / 4
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// TryAcquire takes one send credit if one is available.
+func (f *FlowLink) TryAcquire() bool {
+	select {
+	case f.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks for one send credit, aborting (false) if either stop
+// channel fires first. Nil stop channels never fire.
+func (f *FlowLink) Acquire(stopA, stopB <-chan struct{}) bool {
+	select {
+	case f.tokens <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case f.tokens <- struct{}{}:
+		return true
+	case <-f.dead:
+		return true // finished link: proceed, the send reports the truth
+	case <-stopA:
+		return false
+	case <-stopB:
+		return false
+	}
+}
+
+// Refund returns n unused send credits without waking anyone: the caller
+// is the would-be sender itself, unwinding a failed flush — possibly with
+// its own queue lock held, so no hook may run. Credits beyond the window
+// are discarded, which keeps the invariant self-healing.
+func (f *FlowLink) Refund(n int) {
+	for ; n > 0; n-- {
+		select {
+		case <-f.tokens:
+		default:
+			return
+		}
+	}
+}
+
+// Refill returns n send credits to the pool (an inbound grant from the
+// peer) and runs the refill hook — the egress queue's stall/resume wakeup.
+func (f *FlowLink) Refill(n int) {
+	f.Refund(n)
+	if hook := f.refillHook.Load(); hook != nil {
+		(*hook)()
+	}
+}
+
+// SetRefillHook registers fn to run after every inbound grant refill.
+func (f *FlowLink) SetRefillHook(fn func()) {
+	if fn == nil {
+		f.refillHook.Store(nil)
+		return
+	}
+	f.refillHook.Store(&fn)
+}
+
+// Retire records that the receiving pipeline finished n inbound data
+// packets. When accumulated retirements cross the grant threshold the
+// whole accumulation is claimed and returned for the caller to grant back
+// to the peer; otherwise 0.
+func (f *FlowLink) Retire(n int) int {
+	f.retired.Add(int64(n))
+	for {
+		cur := f.retired.Load()
+		if cur < f.grantThreshold() {
+			return 0
+		}
+		if f.retired.CompareAndSwap(cur, 0) {
+			return int(cur)
+		}
+	}
+}
+
+// absorb refills the pool from any grants in ps and filters them out of the
+// slice in place.
+func (f *FlowLink) absorb(ps []*packet.Packet) []*packet.Packet {
+	kept := ps[:0]
+	for _, p := range ps {
+		if n, ok := packet.CreditGrantValue(p); ok {
+			f.Refill(int(n))
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// Recv delivers the next non-grant packet, absorbing credit grants into the
+// sender pool as they arrive.
+func (f *FlowLink) Recv() (*packet.Packet, error) {
+	for {
+		p, err := f.Link.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := packet.CreditGrantValue(p); ok {
+			f.Refill(int(n))
+			continue
+		}
+		return p, nil
+	}
+}
+
+// RecvBatch delivers the next frame's non-grant packets, absorbing grants;
+// frames that carried only grants are skipped entirely.
+func (f *FlowLink) RecvBatch() ([]*packet.Packet, error) {
+	for {
+		ps, err := RecvBatch(f.Link)
+		if err != nil {
+			return nil, err
+		}
+		if ps = f.absorb(ps); len(ps) > 0 {
+			return ps, nil
+		}
+	}
+}
+
+// SendBatch forwards a whole batch through the wrapped link's native batch
+// path. Credit accounting is the caller's concern (the egress queue
+// acquires credits per data packet before flushing).
+func (f *FlowLink) SendBatch(ps []*packet.Packet) error {
+	return SendBatch(f.Link, ps)
+}
+
+// Close closes the wrapped link and releases blocked senders.
+func (f *FlowLink) Close() error {
+	f.Abort()
+	return f.Link.Close()
+}
+
+// Drop severs the wrapped link abruptly (crash modeling passes through)
+// and releases blocked senders.
+func (f *FlowLink) Drop() {
+	f.Abort()
+	DropLink(f.Link)
+}
