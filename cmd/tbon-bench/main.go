@@ -14,6 +14,7 @@
 //	tbon-bench -exp recovery      # T-RECOVERY: failure recovery latency
 //	tbon-bench -exp batching      # ablation: egress flush window sweep
 //	tbon-bench -exp flowcontrol   # ablation: credit window × slow consumer
+//	tbon-bench -exp multitenant   # session fabric: N tenants over one overlay
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales. With
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|multitenant|all")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (an array of {experiment, rows} envelopes) instead of tables; record as BENCH_*.json to track the perf trajectory")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
@@ -45,6 +46,8 @@ func main() {
 	batchRounds := flag.Int("batch-rounds", 0, "batching ablation packets per back-end (default 200)")
 	fcLeaves := flag.Int("fc-leaves", 0, "flowcontrol ablation back-end count (default 64)")
 	fcRounds := flag.Int("fc-rounds", 0, "flowcontrol ablation multicast rounds (default 400)")
+	mtLeaves := flag.Int("mt-leaves", 0, "multitenant back-end count (default 64)")
+	mtOps := flag.Int("mt-ops", 0, "multitenant operations per tenant (default 24)")
 	flag.Parse()
 
 	var reports []experiments.Report
@@ -197,6 +200,21 @@ func main() {
 			return nil, "", err
 		}
 		return rows, table(func() string { return experiments.FlowControlTable(cfg, rows) }), nil
+	})
+
+	run("multitenant", func() (any, string, error) {
+		cfg := experiments.DefaultMultiTenantConfig()
+		if *mtLeaves > 0 {
+			cfg.Leaves = *mtLeaves
+		}
+		if *mtOps > 0 {
+			cfg.OpsPerTenant = *mtOps
+		}
+		rows, err := experiments.RunMultiTenant(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, table(func() string { return experiments.MultiTenantTable(cfg, rows) }), nil
 	})
 
 	if *jsonOut {

@@ -5,9 +5,16 @@
 //
 //	tbon-query -spec balanced:64,8 -q "select avg(load), max(mem) group by zone"
 //	tbon-query -q "select count(rank) where load > 1.0"
+//	tbon-query -tenants 4 -stats -q "select count(rank) group by zone"
 //
 // Each simulated host exposes attributes: rank, zone (rank mod 4), load
 // (noisy per-host level) and mem (MB in use).
+//
+// With -tenants N > 1 the query runs concurrently in N tenant sessions
+// multiplexed over the one overlay — each tenant gets its own stream-id
+// namespace, fair-share egress class (weight = tenant index + 1), and
+// credit sub-budget — and -stats then also prints the per-tenant traffic
+// counters.
 package main
 
 import (
@@ -16,10 +23,12 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/session"
 	"repro/internal/topology"
 )
 
@@ -29,7 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "attribute noise seed")
 	batch := flag.Int("batch", 0, "egress batching flush window (0 = off)")
 	window := flag.Int("window", 0, "credit-based flow-control link window (0 = off)")
-	stats := flag.Bool("stats", false, "print the overlay metrics snapshot (egress high-water, credit stalls/grants, …) after the query")
+	tenants := flag.Int("tenants", 1, "concurrent tenant sessions to run the query in")
+	stats := flag.Bool("stats", false, "print the overlay metrics snapshot (and per-tenant counters with -tenants > 1) after the query")
 	flag.Parse()
 
 	tree, err := topology.ParseSpec(*spec)
@@ -43,7 +53,7 @@ func main() {
 	if *window > 0 {
 		opts = append(opts, query.WithLinkWindow(*window))
 	}
-	eng, err := query.NewEngine(tree, func(rank core.Rank) query.AttrSource {
+	nw, err := query.NewNetwork(tree, func(rank core.Rank) query.AttrSource {
 		rng := rand.New(rand.NewSource(*seed + int64(rank)))
 		return func() map[string]float64 {
 			return map[string]float64{
@@ -56,16 +66,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer eng.Close()
+	defer nw.Shutdown()
+
+	n := *tenants
+	if n < 1 {
+		n = 1
+	}
+	mgr := session.NewManager(nw, session.Config{MaxSessions: n})
+	engines := make([]*query.Engine, n)
+	for i := range engines {
+		sess, err := mgr.Open(fmt.Sprintf("tenant-%d", i), session.WithWeight(i+1))
+		if err != nil {
+			fatal(err)
+		}
+		engines[i] = query.NewSessionEngine(nw, sess)
+	}
 
 	start := time.Now()
-	res, err := eng.Run(*q, time.Minute)
-	if err != nil {
-		fatal(err)
+	results := make([]*query.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng *query.Engine) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Run(*q, time.Minute)
+		}(i, eng)
 	}
-	fmt.Printf("%s\n(%d hosts, %v)\n\n%s", res.Query, len(tree.Leaves()), time.Since(start), res.Render())
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// Tenant 0's table is printed; the others ran the same query against
+	// live (noisy) attributes, so their row values may differ slightly.
+	res := results[0]
+	fmt.Printf("%s\n(%d hosts, %d tenant(s), %v)\n\n%s",
+		res.Query, len(tree.Leaves()), n, elapsed, res.Render())
+
 	if *stats {
-		snap := eng.MetricsSnapshot()
+		snap := engines[0].MetricsSnapshot()
 		keys := make([]string, 0, len(snap))
 		for k := range snap {
 			keys = append(keys, k)
@@ -75,6 +117,24 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("%-24s %d\n", k, snap[k])
 		}
+		if n > 1 {
+			fmt.Printf("\n## per-tenant counters\n")
+			ts := nw.TenantSnapshot()
+			names := make([]string, 0, len(ts))
+			for name := range ts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				tc := ts[name]
+				fmt.Printf("%-12s up %-6d down %-6d streams %d/%d\n", name,
+					tc["packets_up"], tc["packets_down"],
+					tc["streams_opened"], tc["streams_closed"])
+			}
+		}
+	}
+	if err := mgr.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -118,6 +118,12 @@ func (be *BackEnd) Recv() (*packet.Packet, error) {
 		return nil, io.EOF
 	}
 	retireAndGrant(&be.nw.metrics, d.src, 1)
+	if len(be.inbox) == 0 {
+		// The handler has consumed everything delivered so far: grant the
+		// below-threshold remainder back rather than sitting on it (see
+		// flushGrant — a budget-limited producer may need these credits).
+		flushGrant(&be.nw.metrics, d.src)
+	}
 	return d.p, nil
 }
 

@@ -143,6 +143,11 @@ type Metrics struct {
 	CreditStalls atomic.Int64 // flushes cut short by an exhausted peer window
 	CreditGrants atomic.Int64 // credit-grant packets sent back to peers
 
+	// Multi-tenant session fabric observability.
+	SessionsOpened   atomic.Int64 // tenant sessions admitted (OpenSession)
+	SessionsClosed   atomic.Int64 // tenant sessions torn down (CloseSession)
+	SessionsRejected atomic.Int64 // sessions refused by admission control
+
 	// Failure detection and recovery observability.
 	HeartbeatsSent       atomic.Int64 // liveness beacons emitted
 	HeartbeatsSeen       atomic.Int64 // beacons observed at the front-end
@@ -173,14 +178,20 @@ type Network struct {
 	// recMu serializes live recoveries (Adopt).
 	recMu sync.Mutex
 
-	mu       sync.Mutex
-	view     *liveView // current shape in original numbering
-	byRank   map[Rank]*node
-	bes      map[Rank]*BackEnd
-	streams  map[uint32]*Stream
-	nextID   uint32
-	shutdown bool
-	beErrs   []error
+	mu      sync.Mutex
+	view    *liveView // current shape in original numbering
+	byRank  map[Rank]*node
+	bes     map[Rank]*BackEnd
+	streams map[uint32]*Stream
+	// nextSeq allocates per-namespace stream sequence numbers (stream id =
+	// ns<<20 | seq); namespace 0 is the legacy single-tenant space.
+	nextSeq map[uint32]uint32
+	// sessions holds the open tenant sessions by namespace; tenantStats
+	// retains per-tenant counters past session close so final stats survive.
+	sessions    map[uint32]*sessionState
+	tenantStats map[string]*TenantCounters
+	shutdown    bool
+	beErrs      []error
 
 	hbMu   sync.Mutex
 	lastHB map[Rank]time.Time
@@ -260,7 +271,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		tree:     cfg.Topology,
 		registry: reg,
 		streams:  map[uint32]*Stream{},
-		nextID:   1,
+		nextSeq:  map[uint32]uint32{},
 		dying:    make(chan struct{}),
 		view:     newLiveView(cfg.Topology),
 		byRank:   map[Rank]*node{},
@@ -371,6 +382,9 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"egress_drops":           m.EgressDrops.Load(),
 		"credit_stalls":          m.CreditStalls.Load(),
 		"credit_grants":          m.CreditGrants.Load(),
+		"sessions_opened":        m.SessionsOpened.Load(),
+		"sessions_closed":        m.SessionsClosed.Load(),
+		"sessions_rejected":      m.SessionsRejected.Load(),
 		"heartbeats_sent":        m.HeartbeatsSent.Load(),
 		"heartbeats_seen":        m.HeartbeatsSeen.Load(),
 		"nodes_failed":           m.NodesFailed.Load(),

@@ -343,9 +343,20 @@ func TestSlowConsumerBoundedMemory(t *testing.T) {
 		streams, rounds = 8, 40
 	}
 
+	// The baseline claim is existential — nothing bounds the queue, so it
+	// CAN blow past the window — but on a heavily loaded single-core host
+	// a starved producer may not balloon it in any one run; retry a couple
+	// of times before declaring the claim false.
 	baseline := runSlowConsumer(t, ChanTransport, 0, streams, rounds)
 	if t.Failed() {
 		t.FailNow()
+	}
+	for attempt := 0; baseline.highWater <= int64(window) && attempt < 2; attempt++ {
+		t.Logf("baseline high-water %d stayed within %d (attempt %d); retrying", baseline.highWater, window, attempt+1)
+		baseline = runSlowConsumer(t, ChanTransport, 0, streams, rounds)
+		if t.Failed() {
+			t.FailNow()
+		}
 	}
 	if baseline.highWater <= int64(window) {
 		t.Errorf("flow-control-off baseline high-water = %d, want > window %d (nothing bounds it)",

@@ -79,6 +79,24 @@ func retireAndGrant(m *Metrics, fl *transport.FlowLink, n int) {
 	}
 }
 
+// flushGrant returns a below-threshold retirement accumulation to the
+// peer. Receivers call it at their idle points — shard mailbox drained,
+// back-end inbox empty — where Retire's quarter-window batching stops
+// being a liveness mechanism: nothing further will cross the threshold,
+// and a sender throttled by a tenant sub-budget smaller than
+// threshold × fan-out is waiting for credits its packets already earned.
+// Under load the idle points are never reached and the 4:1 batching is
+// untouched.
+func flushGrant(m *Metrics, fl *transport.FlowLink) {
+	if fl == nil {
+		return
+	}
+	if g := fl.FlushRetired(); g > 0 {
+		m.CreditGrants.Add(1)
+		_ = fl.Send(packet.NewCreditGrant(uint32(g)))
+	}
+}
+
 // add enqueues p. ctrl marks a sendNow control packet: order-free ops go
 // to the control lane, order-sensitive ops seal the open epoch as a
 // barrier. Data lands in the open epoch's per-stream FIFO at prio.

@@ -172,16 +172,21 @@ func (fe *feState) sendToStream(ss *streamState, p *packet.Packet) error {
 		var fl *transport.FlowLink
 		if data {
 			if fl = flowOf(l); fl != nil {
-				// Aborted acquire (network teardown) falls through to the
-				// send, which surfaces the real link state.
-				fl.Acquire(fe.nw.dying, nil)
+				// Aborted acquire (network teardown, closed session) falls
+				// through to the send, which surfaces the real link state.
+				// A session stream additionally draws one token from its
+				// tenant's budget, returned automatically when the link
+				// credit comes back.
+				fl.AcquireBudgeted(ss.budget, fe.nw.dying, nil)
 			}
 		}
 		if err := l.Send(p); err != nil {
-			if fl != nil {
-				// The packet never went out: refund its credit, or a dead
-				// child's window would leak empty and wedge later
-				// multicasts to its healthy siblings.
+			// The packet never went out: refund its credit, or a dead
+			// child's window would leak empty and wedge later
+			// multicasts to its healthy siblings.
+			if fl != nil && ss.budget != nil {
+				fl.RefundBudgeted(1)
+			} else if fl != nil {
 				fl.Refund(1)
 			}
 			if first == nil {
@@ -401,6 +406,9 @@ func (fe *feState) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 		fe.nw.mu.Unlock()
 		if st == nil {
 			continue
+		}
+		if ss.tc != nil {
+			ss.tc.PacketsUp.Add(int64(len(out)))
 		}
 		for _, q := range out {
 			st.deliver(q.WithStreamSrc(ss.id, 0))

@@ -573,6 +573,36 @@ func (n *node) handleControl(p *packet.Packet) bool {
 			delete(n.streams, id)
 			n.shards.closeStream(ss, p)
 		}
+	case opOpenSession:
+		// Sessions carry no per-node state today — stream announcements
+		// establish everything a node needs — so the open is a pure
+		// namespace reservation relayed to every child subtree.
+		for _, q := range n.childOut {
+			if q != nil {
+				_ = q.sendNow(p)
+			}
+		}
+	case opCloseSession:
+		ns, err := parseCloseSession(p)
+		if err != nil {
+			return false
+		}
+		// Tear down every stream of the namespace without quiescing: each
+		// victim's synchronizer drains on its own shard's up lane behind
+		// previously dispatched work, other tenants' pipelines never stop,
+		// and the single packet relays onward to every child in one hop.
+		for id, ss := range n.streams {
+			if NamespaceOf(id) != ns {
+				continue
+			}
+			delete(n.streams, id)
+			n.shards.closeStreamUp(ss)
+		}
+		for _, q := range n.childOut {
+			if q != nil {
+				_ = q.sendNow(p)
+			}
+		}
 	case opShutdown:
 		n.shuttingDown = true
 		// Park the data plane before forwarding: every downstream packet

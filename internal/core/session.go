@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Tenant sessions multiplex many independent tools over one live overlay —
+// the paper's core amortization claim. A session claims a stream-id
+// namespace (see NamespaceOf), a fair-share egress priority, and a credit
+// sub-budget of Config.LinkWindow, and is announced downstream with one
+// opOpenSession flood. Teardown is the interesting half: CloseSession
+// closes every stream of the namespace at every node with a single flooded
+// opCloseSession packet — no per-stream control traffic and, critically, no
+// shard quiesce — so tearing one tenant down never parks another tenant's
+// pipelines. Admission policy (how many sessions, which weights) lives in
+// internal/session; this file is the mechanism.
+
+// SessionInfo describes one tenant session.
+type SessionInfo struct {
+	// NS is the session's stream-id namespace, in [1, MaxNamespace].
+	// Namespace 0 is reserved for the legacy single-tenant API.
+	NS uint32
+	// Tenant names the session's owner for per-tenant metrics. Empty
+	// defaults to "ns<NS>".
+	Tenant string
+	// Priority is the egress scheduling priority every stream opened in
+	// this session inherits by default (sessions may still set per-stream
+	// priorities explicitly; this is the fair-share class).
+	Priority int
+	// Budget caps how many link send credits the tenant may hold at once
+	// across the front-end's links (a sub-window of Config.LinkWindow).
+	// 0 or out-of-range values clamp to the full link window; ignored
+	// entirely when flow control is off.
+	Budget int
+}
+
+// sessionState is the front-end's record of an open session.
+type sessionState struct {
+	info     SessionInfo
+	budget   *transport.Budget // nil when flow control is off
+	counters *TenantCounters
+}
+
+// TenantCounters are per-tenant front-end traffic counters, the
+// multi-tenant analogue of Metrics. They survive session close so final
+// per-tenant stats remain readable.
+type TenantCounters struct {
+	PacketsUp     atomic.Int64 // reduced results delivered to the tenant's streams
+	PacketsDown   atomic.Int64 // multicasts sent on the tenant's streams
+	StreamsOpened atomic.Int64 // streams created in the tenant's sessions
+	StreamsClosed atomic.Int64 // streams torn down in the tenant's sessions
+}
+
+// Snapshot renders the counters as a name -> value map.
+func (tc *TenantCounters) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"packets_up":     tc.PacketsUp.Load(),
+		"packets_down":   tc.PacketsDown.Load(),
+		"streams_opened": tc.StreamsOpened.Load(),
+		"streams_closed": tc.StreamsClosed.Load(),
+	}
+}
+
+// OpenSession admits a tenant session: it registers the namespace, sizes
+// the tenant's credit budget, and floods the announcement downstream so
+// every node knows the namespace is live. The namespace must be unused.
+func (nw *Network) OpenSession(info SessionInfo) error {
+	if info.NS == 0 || info.NS > MaxNamespace {
+		return fmt.Errorf("core: session namespace %d out of range [1, %d]", info.NS, MaxNamespace)
+	}
+	if info.Tenant == "" {
+		info.Tenant = fmt.Sprintf("ns%d", info.NS)
+	}
+	var bud *transport.Budget
+	if nw.flowOn() {
+		if info.Budget <= 0 || info.Budget > nw.cfg.LinkWindow {
+			info.Budget = nw.cfg.LinkWindow
+		}
+		bud = transport.NewBudget(info.Budget)
+	} else {
+		info.Budget = 0
+	}
+	nw.mu.Lock()
+	if nw.shutdown {
+		nw.mu.Unlock()
+		return ErrShutdown
+	}
+	if _, dup := nw.sessions[info.NS]; dup {
+		nw.mu.Unlock()
+		return fmt.Errorf("core: session namespace %d is already open", info.NS)
+	}
+	if nw.sessions == nil {
+		nw.sessions = map[uint32]*sessionState{}
+	}
+	if nw.tenantStats == nil {
+		nw.tenantStats = map[string]*TenantCounters{}
+	}
+	tc := nw.tenantStats[info.Tenant]
+	if tc == nil {
+		tc = &TenantCounters{}
+		nw.tenantStats[info.Tenant] = tc
+	}
+	nw.sessions[info.NS] = &sessionState{info: info, budget: bud, counters: tc}
+	nw.mu.Unlock()
+	nw.metrics.SessionsOpened.Add(1)
+
+	// Announce to every child subtree, like Shutdown: sessions are not
+	// routed by membership (their streams are), so the flood is total. A
+	// dead child is already gone; recovery re-plays stream announcements,
+	// and the session op carries no state a node cannot live without.
+	p := openSessionPacket(info)
+	for _, l := range nw.fe.childLinks() {
+		if l == nil {
+			continue
+		}
+		_ = l.Send(p)
+	}
+	return nil
+}
+
+// CloseSession tears down a tenant session and every stream opened in its
+// namespace, without quiescing any other tenant's pipelines: the front-end
+// drops its stream state locally, aborts the tenant's credit budget (waking
+// any sender blocked on it), and floods one opCloseSession packet that
+// drains the namespace's synchronizers at every node behind previously
+// dispatched work. Late in-flight data for the dead streams takes the
+// existing pass-through paths with credits retired — the same transient
+// semantics as Stream.Close.
+func (nw *Network) CloseSession(ns uint32) error {
+	nw.mu.Lock()
+	sess := nw.sessions[ns]
+	if sess == nil {
+		nw.mu.Unlock()
+		return fmt.Errorf("core: session namespace %d is not open", ns)
+	}
+	delete(nw.sessions, ns)
+	var victims []*Stream
+	for id, st := range nw.streams {
+		if NamespaceOf(id) == ns {
+			victims = append(victims, st)
+		}
+	}
+	flood := !nw.shutdown
+	nw.mu.Unlock()
+
+	// Unblock budget-bound senders first: a Multicast parked on the
+	// tenant's own sub-window must never outlive the session.
+	if sess.budget != nil {
+		sess.budget.Abort()
+	}
+	for _, st := range victims {
+		st.bulkClose()
+	}
+	nw.metrics.SessionsClosed.Add(1)
+	if flood {
+		p := closeSessionPacket(ns)
+		for _, l := range nw.fe.childLinks() {
+			if l == nil {
+				continue
+			}
+			_ = l.Send(p)
+		}
+	}
+	return nil
+}
+
+// Sessions lists the currently open sessions.
+func (nw *Network) Sessions() []SessionInfo {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]SessionInfo, 0, len(nw.sessions))
+	for _, s := range nw.sessions {
+		out = append(out, s.info)
+	}
+	return out
+}
+
+// TenantSnapshot renders every tenant's counters (including tenants whose
+// sessions have closed) as tenant -> name -> value.
+func (nw *Network) TenantSnapshot() map[string]map[string]int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make(map[string]map[string]int64, len(nw.tenantStats))
+	for tenant, tc := range nw.tenantStats {
+		out[tenant] = tc.Snapshot()
+	}
+	return out
+}

@@ -145,6 +145,11 @@ type shard struct {
 	// registered at stream creation, learned from dispatched work, and
 	// trimmed by close/forget. Touched only by the up-lane goroutine.
 	streams map[uint32]*streamState
+	// upPend / downPend track the links each lane retired against since its
+	// last idle flush; when a lane's mailbox drains, the below-threshold
+	// retirement accumulations on these links are granted back (see
+	// flushGrant). Each set is touched only by its own lane goroutine.
+	upPend, downPend map[*transport.FlowLink]struct{}
 }
 
 // newShardPool starts n pipeline workers for ops. n < 1 is treated as 1;
@@ -157,9 +162,11 @@ func newShardPool(n int, ops shardOps, m *Metrics) *shardPool {
 	sp := &shardPool{ops: ops, m: m, stop: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		sh := &shard{
-			pool:    sp,
-			kick:    make(chan struct{}, 1),
-			streams: map[uint32]*streamState{},
+			pool:     sp,
+			kick:     make(chan struct{}, 1),
+			streams:  map[uint32]*streamState{},
+			upPend:   map[*transport.FlowLink]struct{}{},
+			downPend: map[*transport.FlowLink]struct{}{},
 		}
 		sh.up.notify = make(chan struct{}, 1)
 		sh.down.notify = make(chan struct{}, 1)
@@ -326,6 +333,17 @@ func (sp *shardPool) closeStream(ss *streamState, p *packet.Packet) {
 	sp.dispatch(sh, shardItem{kind: itemCloseDown, ss: ss, p: p})
 }
 
+// closeStreamUp dispatches only the up half of a stream teardown, used by
+// session bulk close: the synchronizer still drains behind every upstream
+// run dispatched before it (same mailbox FIFO as closeStream), but no
+// per-stream close is forwarded downstream — the single flooded
+// opCloseSession packet that triggered this already carries the teardown
+// to every child.
+func (sp *shardPool) closeStreamUp(ss *streamState) {
+	ss.pending.Add(1)
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemCloseUp, ss: ss})
+}
+
 // register tracks a just-created stream for time-based polling, so a
 // synchronizer window armed by an inline run fires even if no item ever
 // reaches the worker.
@@ -403,6 +421,10 @@ func (sh *shard) runUp() {
 				}
 				continue
 			}
+			// Mailbox drained: nothing further will push the lane's
+			// retirement accumulations over the grant threshold, so return
+			// them to the peers now (budget-limited senders may be waiting).
+			sh.flushPend(sh.upPend)
 			select {
 			case <-sh.pool.stop:
 				return
@@ -455,6 +477,9 @@ func (sh *shard) runDown() {
 			}
 			continue
 		}
+		// Mailbox drained: grant back the lane's below-threshold
+		// retirements before sleeping (see runUp).
+		sh.flushPend(sh.downPend)
 		select {
 		case <-sh.down.notify:
 		case <-sh.pool.stop:
@@ -464,9 +489,23 @@ func (sh *shard) runDown() {
 }
 
 // retire hands the peer its credits back for n finished inbound packets
-// (see retireAndGrant).
-func (sh *shard) retire(fl *transport.FlowLink, n int) {
+// (see retireAndGrant), remembering the link in the lane's pending set so
+// an idle flush can return whatever accumulation stays below threshold.
+func (sh *shard) retire(pend map[*transport.FlowLink]struct{}, fl *transport.FlowLink, n int) {
+	if fl == nil || n == 0 {
+		return
+	}
 	retireAndGrant(sh.pool.m, fl, n)
+	pend[fl] = struct{}{}
+}
+
+// flushPend grants back the below-threshold retirements accumulated on
+// every link the lane touched since its last idle point.
+func (sh *shard) flushPend(pend map[*transport.FlowLink]struct{}) {
+	for fl := range pend {
+		flushGrant(sh.pool.m, fl)
+		delete(pend, fl)
+	}
 }
 
 // handleUp executes one up-lane item, returning true when the worker
@@ -481,10 +520,10 @@ func (sh *shard) handleUp(it shardItem) bool {
 		sh.track(it.ss)
 		sh.pool.ops.shardUp(it.ss, it.child, it.ps)
 		it.ss.pending.Add(-1)
-		sh.retire(it.src, len(it.ps))
+		sh.retire(sh.upPend, it.src, len(it.ps))
 	case itemUpRaw:
 		sh.pool.ops.shardUpRaw(it.ps)
-		sh.retire(it.src, len(it.ps))
+		sh.retire(sh.upPend, it.src, len(it.ps))
 	case itemCloseUp:
 		delete(sh.streams, it.ss.id)
 		sh.pool.ops.shardCloseUp(it.ss)
@@ -511,10 +550,10 @@ func (sh *shard) handleDown(it shardItem) bool {
 	case itemDown:
 		sh.pool.ops.shardDown(it.ss, it.p)
 		it.ss.pending.Add(-1)
-		sh.retire(it.src, 1)
+		sh.retire(sh.downPend, it.src, 1)
 	case itemDownRaw:
 		sh.pool.ops.shardDownRaw(it.p)
-		sh.retire(it.src, 1)
+		sh.retire(sh.downPend, it.src, 1)
 	case itemCloseDown:
 		sh.pool.ops.shardCloseDown(it.ss, it.p)
 		it.ss.pending.Add(-1)

@@ -55,17 +55,60 @@ type Stream struct {
 // ErrTimeout is returned by RecvTimeout when no packet arrives in time.
 var ErrTimeout = errors.New("core: receive timed out")
 
-// NewStream establishes a stream: filter and routing state is instantiated
-// at the front-end and announced downstream so every communication process
-// on the members' paths sets up its own filters before any data flows.
+// Stream-id namespaces: the 32-bit stream id is split into a 12-bit session
+// namespace and a 20-bit per-namespace sequence (id = ns<<20 | seq), so a
+// tenant session owns a contiguous, collision-free id range and a single
+// control packet can address every stream of a tenant at once (CloseSession).
+// Namespace 0 is the legacy single-tenant space used by NewStream.
+const (
+	nsShift = 20
+	// MaxNamespace is the largest session namespace id.
+	MaxNamespace = 1<<(32-nsShift) - 1
+	// maxSeq is the largest per-namespace stream sequence number.
+	maxSeq = 1<<nsShift - 1
+)
+
+// NamespaceOf returns the session namespace a stream id belongs to.
+func NamespaceOf(id uint32) uint32 { return id >> nsShift }
+
+// NewStream establishes a stream in the legacy namespace (0); see
+// NewStreamNS.
 func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
+	return nw.NewStreamNS(0, spec)
+}
+
+// NewStreamNS establishes a stream in the given session namespace: filter
+// and routing state is instantiated at the front-end and announced
+// downstream so every communication process on the members' paths sets up
+// its own filters before any data flows. A non-zero namespace must have an
+// open session (OpenSession); the stream then draws send credits from the
+// session's budget and its traffic is charged to the tenant's counters.
+func (nw *Network) NewStreamNS(ns uint32, spec StreamSpec) (*Stream, error) {
+	if ns > MaxNamespace {
+		return nil, fmt.Errorf("core: namespace %d out of range [0, %d]", ns, MaxNamespace)
+	}
 	nw.mu.Lock()
 	if nw.shutdown {
 		nw.mu.Unlock()
 		return nil, ErrShutdown
 	}
-	id := nw.nextID
-	nw.nextID++
+	var sess *sessionState
+	if ns != 0 {
+		if sess = nw.sessions[ns]; sess == nil {
+			nw.mu.Unlock()
+			return nil, fmt.Errorf("core: namespace %d has no open session", ns)
+		}
+	}
+	seq := nw.nextSeq[ns]
+	if seq == 0 {
+		seq = 1 // id 0 is never a valid stream
+	}
+	if seq > maxSeq {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("core: namespace %d exhausted its %d stream ids", ns, maxSeq)
+	}
+	nw.nextSeq[ns] = seq + 1
+	id := ns<<nsShift | seq
 	nw.mu.Unlock()
 
 	if spec.Synchronization == "" {
@@ -106,6 +149,14 @@ func (nw *Network) NewStream(spec StreamSpec) (*Stream, error) {
 	if err != nil {
 		nw.recMu.Unlock()
 		return nil, err
+	}
+	if sess != nil {
+		// Front-end sends on this stream draw from the tenant's credit
+		// budget, and its traffic lands on the tenant's counters. Both are
+		// immutable for the session's lifetime, so lock-free reads are safe.
+		ss.budget = sess.budget
+		ss.tc = sess.counters
+		sess.counters.StreamsOpened.Add(1)
 	}
 
 	buf := spec.RecvBuffer
@@ -178,6 +229,9 @@ func (s *Stream) MulticastPacket(p *packet.Packet) error {
 	}
 	p = p.WithStream(s.id)
 	s.nw.metrics.PacketsDown.Add(1)
+	if ss.tc != nil {
+		ss.tc.PacketsDown.Add(1)
+	}
 	if err := s.nw.fe.sendToStream(ss, p); err != nil {
 		return fmt.Errorf("core: multicast on stream %d: %w", s.id, err)
 	}
@@ -244,21 +298,38 @@ func (s *Stream) Close() error {
 		if ss != nil {
 			sendErr = s.nw.fe.sendToStream(ss, closeStreamPacket(s.id))
 		}
-		s.nw.fe.dropState(s.id)
-		// Trim the stream from its pipeline shard's poll set; data still in
-		// flight for it is dropped by the router (no state) from here on,
-		// and the closed mark keeps an already-dispatched item from
-		// re-registering the dead state behind the forget.
-		if ss != nil {
-			ss.closed.Store(true)
-		}
-		s.nw.fe.shards.forget(s.id)
-		s.nw.mu.Lock()
-		delete(s.nw.streams, s.id)
-		s.nw.mu.Unlock()
-		close(s.closed)
+		s.teardownFE(ss)
 	})
 	return sendErr
+}
+
+// bulkClose tears down the stream's front-end state without per-stream
+// control traffic: CloseSession floods one opCloseSession packet that
+// closes every stream of the namespace at every node, so announcing each
+// close individually would only duplicate work on the wire.
+func (s *Stream) bulkClose() {
+	s.closeOnce.Do(func() { s.teardownFE(s.nw.fe.state(s.id)) })
+}
+
+// teardownFE is the front-end half of a stream close, shared by Close and
+// bulkClose (both run under closeOnce).
+func (s *Stream) teardownFE(ss *streamState) {
+	s.nw.fe.dropState(s.id)
+	// Trim the stream from its pipeline shard's poll set; data still in
+	// flight for it is dropped by the router (no state) from here on,
+	// and the closed mark keeps an already-dispatched item from
+	// re-registering the dead state behind the forget.
+	if ss != nil {
+		ss.closed.Store(true)
+		if ss.tc != nil {
+			ss.tc.StreamsClosed.Add(1)
+		}
+	}
+	s.nw.fe.shards.forget(s.id)
+	s.nw.mu.Lock()
+	delete(s.nw.streams, s.id)
+	s.nw.mu.Unlock()
+	close(s.closed)
 }
 
 // closeRecv marks the stream closed without control traffic; used at

@@ -8,6 +8,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/packet"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // streamRoutes is one immutable routing snapshot: which child slots the
@@ -81,6 +82,14 @@ type streamState struct {
 	// prio is the stream's egress scheduling priority (StreamSpec.Priority,
 	// carried by the announcement so every level schedules consistently).
 	prio int
+
+	// budget and tc are set only at the front-end (rank 0) for streams
+	// opened inside a tenant session: budget is the tenant's credit
+	// sub-window (front-end sends acquire through it) and tc the tenant's
+	// traffic counters. Both immutable for the stream's lifetime; nil for
+	// legacy namespace-0 streams and at every other rank.
+	budget *transport.Budget
+	tc     *TenantCounters
 
 	// pipeMu serializes pipeline execution — synchronizer, transformation,
 	// egress, drain, poll — between the router's inline fast path and the

@@ -415,3 +415,35 @@ func TestFlowControlAblationShape(t *testing.T) {
 	}
 	t.Logf("\n%s", FlowControlTable(cfg, rows))
 }
+
+// TestMultiTenantShape runs the session-fabric study small: every swept
+// tenant count completes its ops, fairness is a sane ratio, and the
+// concurrent rows don't collapse versus the sequential baseline.
+func TestMultiTenantShape(t *testing.T) {
+	cfg := DefaultMultiTenantConfig()
+	cfg.Leaves, cfg.FanOut = 16, 4
+	cfg.Tenants = []int{1, 2, 4}
+	cfg.OpsPerTenant = 8
+	cfg.SketchItems = 50
+	rows, err := RunMultiTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ops != r.Tenants*cfg.OpsPerTenant {
+			t.Errorf("%d tenants: ops = %d", r.Tenants, r.Ops)
+		}
+		if r.AggRate <= 0 || r.MinRate <= 0 || r.MaxRate < r.MinRate {
+			t.Errorf("%d tenants: rates %+v", r.Tenants, r)
+		}
+		if r.Fairness <= 0 || r.Fairness > 1.0001 {
+			t.Errorf("%d tenants: fairness = %g", r.Tenants, r.Fairness)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %g", rows[0].Speedup)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/session"
+	"repro/internal/sketch"
+	"repro/internal/topology"
+)
+
+// MultiTenantConfig parameterizes the session-fabric study: N tenants run
+// a mixed aggregation/sketch workload concurrently over ONE shared
+// overlay, against the sequential single-tenant baseline (the N=1 row).
+// The paper's amortization claim, applied to tools instead of packets: the
+// overlay is the expensive shared asset, and the session fabric is what
+// lets many tools use it at once without building N overlays.
+type MultiTenantConfig struct {
+	// Leaves is the back-end count; FanOut the tree fan-out.
+	Leaves int
+	FanOut int
+	// Tenants is the swept tenant counts; include 1 for the baseline.
+	Tenants []int
+	// OpsPerTenant is how many operations each tenant runs. The workload
+	// cycles: grouped aggregation query, count-min, HLL, t-digest.
+	OpsPerTenant int
+	// LinkWindow enables credit flow control (sub-budgeted per tenant).
+	LinkWindow int
+	// SketchItems is the per-back-end item count of each sketch op.
+	SketchItems int
+	// Seed roots the sketch generators.
+	Seed int64
+}
+
+// DefaultMultiTenantConfig is laptop-runnable.
+func DefaultMultiTenantConfig() MultiTenantConfig {
+	return MultiTenantConfig{
+		Leaves:       64,
+		FanOut:       8,
+		Tenants:      []int{1, 2, 4, 8},
+		OpsPerTenant: 24,
+		LinkWindow:   32,
+		SketchItems:  200,
+		Seed:         1,
+	}
+}
+
+// MultiTenantRow is one swept tenant count.
+type MultiTenantRow struct {
+	Tenants int
+	// Ops is the total operations completed across tenants.
+	Ops int
+	// AggRate is aggregate operations per second across all tenants.
+	AggRate float64
+	// MinRate and MaxRate are the slowest and fastest tenant's own rates;
+	// their ratio is the fairness of the shared fabric under equal weights.
+	MinRate  float64
+	MaxRate  float64
+	Fairness float64
+	// Speedup is AggRate over the N=1 (sequential single-tenant) AggRate.
+	Speedup float64
+}
+
+// RunMultiTenant measures each tenant count on a fresh overlay.
+func RunMultiTenant(cfg MultiTenantConfig) ([]MultiTenantRow, error) {
+	if cfg.Leaves == 0 {
+		cfg = DefaultMultiTenantConfig()
+	}
+	var rows []MultiTenantRow
+	var baseline float64
+	for _, n := range cfg.Tenants {
+		row, err := multiTenantRun(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multitenant %d tenants: %w", n, err)
+		}
+		if baseline == 0 {
+			baseline = row.AggRate
+		}
+		row.Speedup = row.AggRate / baseline
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func multiTenantRun(cfg MultiTenantConfig, tenants int) (MultiTenantRow, error) {
+	tree, err := topology.Balanced(cfg.Leaves, cfg.FanOut)
+	if err != nil {
+		return MultiTenantRow{}, err
+	}
+	nw, err := query.NewNetwork(tree, func(rank core.Rank) query.AttrSource {
+		return func() map[string]float64 {
+			return map[string]float64{
+				"zone": float64(rank % 4),
+				"load": float64(rank) / 100,
+				"mem":  float64(256 + rank%32*64),
+			}
+		}
+	}, query.WithLinkWindow(cfg.LinkWindow))
+	if err != nil {
+		return MultiTenantRow{}, err
+	}
+	defer nw.Shutdown()
+
+	mgr := session.NewManager(nw, session.Config{MaxSessions: tenants})
+	engines := make([]*query.Engine, tenants)
+	for i := range engines {
+		// Equal weights: the fairness number below measures the fabric,
+		// not a deliberate priority skew.
+		sess, err := mgr.Open(fmt.Sprintf("tenant-%d", i))
+		if err != nil {
+			return MultiTenantRow{}, err
+		}
+		engines[i] = query.NewSessionEngine(nw, sess)
+	}
+
+	elapsed := make([]time.Duration, tenants)
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng *query.Engine) {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[i] = tenantWorkload(cfg, eng, int64(i))
+			elapsed[i] = time.Since(t0)
+		}(i, eng)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return MultiTenantRow{}, err
+		}
+	}
+	if err := mgr.Close(); err != nil {
+		return MultiTenantRow{}, err
+	}
+
+	row := MultiTenantRow{
+		Tenants: tenants,
+		Ops:     tenants * cfg.OpsPerTenant,
+		AggRate: float64(tenants*cfg.OpsPerTenant) / wall.Seconds(),
+	}
+	for _, d := range elapsed {
+		r := float64(cfg.OpsPerTenant) / d.Seconds()
+		if row.MinRate == 0 || r < row.MinRate {
+			row.MinRate = r
+		}
+		if r > row.MaxRate {
+			row.MaxRate = r
+		}
+	}
+	row.Fairness = row.MinRate / row.MaxRate
+	return row, nil
+}
+
+// tenantWorkload runs one tenant's mixed operation cycle.
+func tenantWorkload(cfg MultiTenantConfig, eng *query.Engine, tenant int64) error {
+	kinds := []sketch.Kind{sketch.KindCountMin, sketch.KindHLL, sketch.KindTDigest}
+	for op := 0; op < cfg.OpsPerTenant; op++ {
+		if op%4 == 0 {
+			if _, err := eng.Run("select count(rank), avg(load), max(mem) group by zone", time.Minute); err != nil {
+				return err
+			}
+			continue
+		}
+		req := sketch.Request{
+			Kind: kinds[op%len(kinds)],
+			N:    cfg.SketchItems,
+			Seed: cfg.Seed + tenant*1000 + int64(op),
+		}
+		if _, err := eng.Sketch(req, time.Minute); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiTenantTable renders the sweep.
+func MultiTenantTable(cfg MultiTenantConfig, rows []MultiTenantRow) string {
+	if cfg.Leaves == 0 {
+		cfg = DefaultMultiTenantConfig()
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("MULTITENANT — mixed query+sketch ops over one shared overlay, %d back-ends, window %d (fairness = slowest/fastest tenant rate; speedup vs 1 tenant)",
+			cfg.Leaves, cfg.LinkWindow),
+		"tenants", "ops", "agg-ops/s", "min-ops/s", "max-ops/s", "fairness", "speedup")
+	for _, r := range rows {
+		tb.AddRow(r.Tenants, r.Ops, r.AggRate, r.MinRate, r.MaxRate, r.Fairness, r.Speedup)
+	}
+	return tb.String()
+}

@@ -16,6 +16,15 @@ func FuzzDecode(f *testing.F) {
 			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
 		NewCreditGrant(32),
 		NewCreditGrant(^uint32(0)),
+		// Session control ops, mirroring core's opOpenSession (op,
+		// namespace, tenant, priority, budget) and opCloseSession (op,
+		// namespace) wire shapes — the decoder must survive mutations of
+		// the tenant announcement flood.
+		MustNew(TagControl, 0, 0, "%d %d %s %d %d",
+			int64(5), int64(9), "tenant-a", int64(2), int64(8)),
+		MustNew(TagControl, 0, 0, "%d %d %s %d %d",
+			int64(5), int64(4095), "", int64(0), int64(0)),
+		MustNew(TagControl, 0, 0, "%d %d", int64(6), int64(9)),
 	}
 	for _, p := range seeds {
 		f.Add(p.Encode())

@@ -10,6 +10,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/packet"
+	"repro/internal/session"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -260,10 +262,17 @@ func applyAgg(fn AggFn, m *stats.Moments) float64 {
 	return math.NaN()
 }
 
-// Engine runs declarative queries over a TBON. Construct the overlay with
-// NewEngine so the back-ends run the query-evaluation handler.
+// Engine runs declarative queries over a TBON. An engine is a thin client
+// of an overlay, not the overlay itself: NewEngine builds a private
+// overlay for the classic single-tool case, while NewSessionEngine
+// multiplexes many engines — one per tenant session — over one shared
+// overlay built with NewNetwork. Either way Close releases only the
+// engine's own resources; tearing the overlay down is its owner's job
+// (Shutdown, or core.Network.Shutdown directly).
 type Engine struct {
-	nw *core.Network
+	nw    *core.Network
+	sess  *session.Session // nil: the legacy single-tenant namespace
+	owned bool             // NewEngine built the overlay for this engine
 }
 
 // Option adjusts the overlay configuration an Engine is built on.
@@ -280,55 +289,97 @@ func WithLinkWindow(w int) Option {
 	return func(c *core.Config) { c.LinkWindow = w }
 }
 
-// NewEngine builds an overlay whose back-ends evaluate queries against the
-// given attribute source (invoked per request, so values may change
-// between queries). The engine owns the network; call Close when done.
-func NewEngine(tree *topology.Tree, attrs func(rank core.Rank) AttrSource, opts ...Option) (*Engine, error) {
+// NewNetwork builds the shared query overlay: back-ends evaluate
+// declarative queries against the given attribute source (invoked per
+// request, so values may change between queries) and answer mergeable-
+// sketch requests (internal/sketch), with both families' merge filters
+// registered at every level. The caller owns the returned network; any
+// number of engines — legacy or per-session — may then be layered on it.
+func NewNetwork(tree *topology.Tree, attrs func(rank core.Rank) AttrSource, opts ...Option) (*core.Network, error) {
 	reg := filter.NewRegistry()
 	Register(reg)
+	sketch.Register(reg)
 	cfg := core.Config{
-		Topology: tree,
-		Registry: reg,
-		OnBackEnd: func(be *core.BackEnd) error {
-			src := attrs(be.Rank())
-			for {
-				p, err := be.Recv()
-				if err != nil {
-					return nil
-				}
-				text, err := p.Str(0)
-				if err != nil {
-					continue
-				}
-				q, err := Parse(text)
-				if err != nil {
-					continue // the front-end validated; ignore corrupt requests
-				}
-				vals := map[string]float64{"rank": float64(be.Rank())}
-				if src != nil {
-					for k, v := range src() {
-						vals[k] = v
-					}
-				}
-				pt := Evaluate(q, vals)
-				out, err := pt.ToPacket(p.Tag, p.StreamID, be.Rank())
-				if err != nil {
-					return err
-				}
-				if err := be.SendPacket(out); err != nil {
-					return nil
-				}
-			}
-		},
+		Topology:  tree,
+		Registry:  reg,
+		OnBackEnd: BackEndHandler(attrs),
 	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	nw, err := core.NewNetwork(cfg)
+	return core.NewNetwork(cfg)
+}
+
+// BackEndHandler returns the back-end loop NewNetwork installs: sketch
+// requests build the rank's local sketch; everything else is treated as
+// query text and evaluated against the attribute source.
+func BackEndHandler(attrs func(rank core.Rank) AttrSource) func(be *core.BackEnd) error {
+	return func(be *core.BackEnd) error {
+		var src AttrSource
+		if attrs != nil {
+			src = attrs(be.Rank())
+		}
+		for {
+			p, err := be.Recv()
+			if err != nil {
+				return nil
+			}
+			if sketch.IsRequest(p) {
+				_ = sketch.HandleRequest(be, p) // orphaned sends fail; next request retries
+				continue
+			}
+			text, err := p.Str(0)
+			if err != nil {
+				continue
+			}
+			q, err := Parse(text)
+			if err != nil {
+				continue // the front-end validated; ignore corrupt requests
+			}
+			vals := map[string]float64{"rank": float64(be.Rank())}
+			if src != nil {
+				for k, v := range src() {
+					vals[k] = v
+				}
+			}
+			pt := Evaluate(q, vals)
+			out, err := pt.ToPacket(p.Tag, p.StreamID, be.Rank())
+			if err != nil {
+				return err
+			}
+			if err := be.SendPacket(out); err != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// NewEngine builds a private overlay and an engine over it — the classic
+// single-tool construction. Close releases the engine; call Shutdown (or
+// keep a Network handle) to tear the overlay down.
+func NewEngine(tree *topology.Tree, attrs func(rank core.Rank) AttrSource, opts ...Option) (*Engine, error) {
+	nw, err := NewNetwork(tree, attrs, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{nw: nw}, nil
+	return &Engine{nw: nw, owned: true}, nil
+}
+
+// NewSessionEngine is the multi-tenant construction: a thin query client
+// bound to one tenant session on a shared overlay (built with NewNetwork).
+// The engine's streams live in the session's namespace, draw from its
+// credit budget, and land on its tenant counters; Close closes the
+// session, never the overlay.
+func NewSessionEngine(nw *core.Network, sess *session.Session) *Engine {
+	return &Engine{nw: nw, sess: sess}
+}
+
+// newStream opens a per-request stream in the engine's namespace.
+func (e *Engine) newStream(spec core.StreamSpec) (*core.Stream, error) {
+	if e.sess != nil {
+		return e.sess.NewStream(spec)
+	}
+	return e.nw.NewStream(spec)
 }
 
 // Run parses and executes one query, waiting up to timeout for the merged
@@ -338,7 +389,7 @@ func (e *Engine) Run(text string, timeout time.Duration) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := e.nw.NewStream(core.StreamSpec{
+	st, err := e.newStream(core.StreamSpec{
 		Transformation:  MergeFilterName,
 		Synchronization: "waitforall",
 	})
@@ -360,12 +411,62 @@ func (e *Engine) Run(text string, timeout time.Duration) (*Result, error) {
 	return finalize(q, pt), nil
 }
 
+// Sketch runs one mergeable-sketch workload: every back-end sketches its
+// deterministic local stream and the overlay reduces the sketches level by
+// level. The merged sketch packet is returned for the caller to decode
+// with the kind's FromPacket.
+func (e *Engine) Sketch(req sketch.Request, timeout time.Duration) (*packet.Packet, error) {
+	fname, err := sketch.FilterName(req.Kind)
+	if err != nil {
+		return nil, err
+	}
+	st, err := e.newStream(core.StreamSpec{
+		Transformation:  fname,
+		Synchronization: "waitforall",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rp, err := req.ToPacket(st.ID())
+	if err != nil {
+		return nil, err
+	}
+	if err := st.MulticastPacket(rp); err != nil {
+		return nil, err
+	}
+	return st.RecvTimeout(timeout)
+}
+
 // MetricsSnapshot returns the overlay's counters as a name -> value map
 // (egress high-water, credit stalls/grants, frames, …) for tooling.
 func (e *Engine) MetricsSnapshot() map[string]int64 { return e.nw.Metrics().Snapshot() }
 
-// Close shuts the underlying overlay down.
-func (e *Engine) Close() error { return e.nw.Shutdown() }
+// Stats returns the engine's tenant counters, or nil for a legacy
+// (session-less) engine.
+func (e *Engine) Stats() map[string]int64 {
+	if e.sess == nil {
+		return nil
+	}
+	return e.sess.Stats()
+}
+
+// Close releases the engine: a session engine closes its session (every
+// stream in its namespace, at every node, without quiescing other
+// tenants); a legacy engine has nothing to release — its per-query streams
+// are already closed. The overlay is deliberately left running; other
+// engines may share it. Owners tear it down with Shutdown.
+func (e *Engine) Close() error {
+	if e.sess != nil {
+		return e.sess.Close()
+	}
+	return nil
+}
+
+// Shutdown tears the underlying overlay down. Only the overlay's owner —
+// the NewEngine caller, or whoever built the shared network — should call
+// it; every other engine on the overlay dies with it.
+func (e *Engine) Shutdown() error { return e.nw.Shutdown() }
 
 // Network exposes the underlying overlay (e.g. for AttachBackEnd).
 func (e *Engine) Network() *core.Network { return e.nw }

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/sketch"
+	"repro/internal/topology"
+)
+
+func testAttrs(rank core.Rank) AttrSource {
+	return func() map[string]float64 {
+		return map[string]float64{
+			"load": float64(rank) / 10,
+			"zone": float64(rank % 3),
+		}
+	}
+}
+
+// TestSessionEnginesShareOverlay: several tenant engines multiplex over
+// one overlay, each computes the same results it would alone, and closing
+// one engine leaves the others (and the overlay) fully live.
+func TestSessionEnginesShareOverlay(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:3^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(tree, testAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	mgr := session.NewManager(nw, session.Config{MaxSessions: 4})
+
+	leaves := tree.Leaves()
+	want := float64(len(leaves))
+	check := func(e *Engine) {
+		t.Helper()
+		res, err := e.Run("select count(rank)", 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0].Values[0]; got != want {
+			t.Errorf("count = %g, want %g", got, want)
+		}
+	}
+
+	engines := make([]*Engine, 3)
+	for i := range engines {
+		sess, err := mgr.Open([]string{"alice", "bob", "carol"}[i], session.WithWeight(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = NewSessionEngine(nw, sess)
+	}
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func(e *Engine) { defer wg.Done(); check(e) }(e)
+		}
+	}
+	wg.Wait()
+
+	// Closing bob releases only bob: the overlay and the other engines
+	// keep answering, and bob's next query fails fast (namespace gone).
+	if err := engines[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(engines[0])
+	check(engines[2])
+	if _, err := engines[1].Run("select count(rank)", time.Second); err == nil {
+		t.Error("closed engine still answered")
+	}
+	if st := engines[0].Stats(); st == nil || st["streams_opened"] < 2 {
+		t.Errorf("tenant stats = %v", st)
+	}
+	if engines[1].Stats() == nil {
+		t.Error("closed tenant's stats gone (should survive close)")
+	}
+}
+
+// TestLegacyEngineCloseLeavesOverlayUp: the classic NewEngine construction
+// separates Close (engine) from Shutdown (overlay).
+func TestLegacyEngineCloseLeavesOverlayUp(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tree, testAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close must NOT have killed the overlay for other clients.
+	res, err := eng.Run("select count(rank)", 10*time.Second)
+	if err != nil {
+		t.Fatalf("overlay dead after engine Close: %v", err)
+	}
+	if got := res.Rows[0].Values[0]; got != float64(len(tree.Leaves())) {
+		t.Errorf("count = %g", got)
+	}
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run("select count(rank)", time.Second); err == nil {
+		t.Error("overlay answered after Shutdown")
+	}
+}
+
+// TestEngineSketchWorkloads runs each sketch kind end to end through the
+// engine and checks the reduced result against the exact ground truth
+// recomputed from the same deterministic generator.
+func TestEngineSketchWorkloads(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:3^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tree, testAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Shutdown()
+	ranks := tree.Leaves()
+
+	req := sketch.Request{Kind: sketch.KindCountMin, Param: 2048, N: 500, Seed: 7}
+	exact := sketch.ExactFor(req, ranks)
+	p, err := eng.Sketch(req, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := sketch.CountMinFromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, n := range exact.Freq {
+		if est := cm.Estimate(key); est < n {
+			t.Fatalf("count-min underestimated %q: %d < %d", key, est, n)
+		}
+	}
+
+	req = sketch.Request{Kind: sketch.KindHLL, Param: 12, N: 500, Seed: 7}
+	exact = sketch.ExactFor(req, ranks)
+	p, err = eng.Sketch(req, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hll, err := sketch.HLLFromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := float64(hll.Estimate())
+	if rel := math.Abs(est-float64(exact.Distinct)) / float64(exact.Distinct); rel > 0.07 {
+		t.Errorf("HLL estimate %g vs %d (rel %.3f)", est, exact.Distinct, rel)
+	}
+
+	req = sketch.Request{Kind: sketch.KindTDigest, N: 500, Seed: 7}
+	exact = sketch.ExactFor(req, ranks)
+	p, err = eng.Sketch(req, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := sketch.TDigestFromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := td.Quantile(0.5), exact.ExactQuantile(0.5); math.Abs(got-want) > 2 {
+		t.Errorf("median %g vs exact %g", got, want)
+	}
+
+	if _, err := eng.Sketch(sketch.Request{Kind: "bogus"}, time.Second); err == nil {
+		t.Error("bogus sketch kind accepted")
+	}
+}

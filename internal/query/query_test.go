@@ -203,7 +203,7 @@ func TestEndToEndQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer eng.Close()
+	defer eng.Shutdown() // the engine owns this overlay
 
 	leaves := tree.Leaves()
 

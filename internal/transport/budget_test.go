@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func TestBudgetBasics(t *testing.T) {
+	b := NewBudget(2)
+	if b.Cap() != 2 {
+		t.Fatalf("cap = %d", b.Cap())
+	}
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("two acquires must succeed")
+	}
+	if b.TryAcquire() {
+		t.Fatal("third acquire must fail")
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("in use = %d", b.InUse())
+	}
+	b.Release(1)
+	if !b.TryAcquire() {
+		t.Fatal("released credit must be reusable")
+	}
+	// Over-release is clamped, not a panic or a capacity leak.
+	b.Release(10)
+	if b.InUse() != 0 {
+		t.Fatalf("after over-release, in use = %d", b.InUse())
+	}
+	if NewBudget(0).Cap() != 1 {
+		t.Fatal("zero-credit budgets must clamp to 1")
+	}
+}
+
+func TestBudgetAcquireBlocksAndAborts(t *testing.T) {
+	b := NewBudget(1)
+	if !b.TryAcquire() {
+		t.Fatal("first acquire")
+	}
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- b.Acquire(stop, nil) }()
+	select {
+	case <-got:
+		t.Fatal("acquire should block on an exhausted budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(stop)
+	if v := <-got; v {
+		t.Fatal("stopped acquire must report false")
+	}
+	// An aborted budget stops constraining entirely.
+	b.Abort()
+	if !b.Acquire(nil, nil) {
+		t.Fatal("aborted budget must grant immediately")
+	}
+	b.Abort() // idempotent
+}
+
+// budgetPair builds a chan-fabric link pair wrapped in FlowLinks of window w.
+func budgetPair(t *testing.T, w int) (*FlowLink, *FlowLink) {
+	t.Helper()
+	a, b := NewPair(8)
+	return NewFlowLink(a, w), NewFlowLink(b, w)
+}
+
+func TestAcquireBudgetedReleasesOnRefill(t *testing.T) {
+	fl, _ := budgetPair(t, 4)
+	b := NewBudget(2)
+	if !fl.AcquireBudgeted(b, nil, nil) || !fl.AcquireBudgeted(b, nil, nil) {
+		t.Fatal("budgeted acquires within both windows must succeed")
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("budget in use = %d, want 2", b.InUse())
+	}
+	if b.TryAcquire() {
+		t.Fatal("budget must be exhausted")
+	}
+	// The link window still has 2 free credits, but the tenant's budget is
+	// spent: a budgeted acquire must block even though the link would not.
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- fl.AcquireBudgeted(b, stop, nil) }()
+	select {
+	case <-got:
+		t.Fatal("acquire should block on the exhausted tenant budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A grant refilling one link credit releases the oldest budget stamp,
+	// unblocking the tenant.
+	fl.Refill(1)
+	if v := <-got; !v {
+		t.Fatal("refill must unblock the budgeted acquire")
+	}
+	close(stop)
+}
+
+func TestAcquireBudgetedRefundAndAbort(t *testing.T) {
+	fl, _ := budgetPair(t, 4)
+	b := NewBudget(4)
+	for i := 0; i < 3; i++ {
+		if !fl.AcquireBudgeted(b, nil, nil) {
+			t.Fatal("acquire")
+		}
+	}
+	// A failed send unwinds its own (newest) stamp.
+	fl.RefundBudgeted(1)
+	if b.InUse() != 2 {
+		t.Fatalf("after refund, budget in use = %d, want 2", b.InUse())
+	}
+	// Link death returns every remaining stamp: a tenant must not stay
+	// charged for credits a dead peer can never retire.
+	fl.Abort()
+	if b.InUse() != 0 {
+		t.Fatalf("after abort, budget in use = %d, want 0", b.InUse())
+	}
+	// Acquires against the dead link proceed without stranding tokens.
+	if !fl.AcquireBudgeted(b, nil, nil) {
+		t.Fatal("acquire on dead link must proceed")
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("dead-link acquire leaked a budget token: in use = %d", b.InUse())
+	}
+}
+
+func TestAcquireBudgetedNilBudget(t *testing.T) {
+	fl, _ := budgetPair(t, 1)
+	if !fl.AcquireBudgeted(nil, nil, nil) {
+		t.Fatal("nil budget must degrade to plain Acquire")
+	}
+	stop := make(chan struct{})
+	close(stop)
+	if fl.AcquireBudgeted(nil, stop, nil) {
+		t.Fatal("stopped plain acquire must report false")
+	}
+}
+
+// TestBudgetedGrantsOverWire drives real grants end to end: the receiver
+// retires packets, the sender's budget frees as the grants land.
+func TestBudgetedGrantsOverWire(t *testing.T) {
+	fl, peer := budgetPair(t, 4)
+	b := NewBudget(2)
+	data := packet.MustNew(100, 1, 0, "%d", int64(7))
+	for i := 0; i < 2; i++ {
+		if !fl.AcquireBudgeted(b, nil, nil) {
+			t.Fatal("acquire")
+		}
+		if err := fl.Send(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receiver consumes and retires both; window 4 → threshold 1, so each
+	// retirement yields a grant to send back.
+	for i := 0; i < 2; i++ {
+		if _, err := peer.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if g := peer.Retire(1); g > 0 {
+			if err := peer.Send(packet.NewCreditGrant(uint32(g))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The sender absorbs the grants on its next receive attempt; there is
+	// no data coming back, so poke the absorb path directly via Refill as
+	// the chan link's Recv would. Use a real recv with a trailing data
+	// packet instead: the peer sends one data packet after the grants.
+	if err := peer.Send(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Recv(); err != nil { // absorbs both grants first
+		t.Fatal(err)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("budget in use after grants = %d, want 0", b.InUse())
+	}
+}

@@ -54,6 +54,16 @@ type FlowLink struct {
 	// caller proceeds and lets the send surface the link's real state.
 	dead     chan struct{}
 	deadOnce sync.Once
+
+	// budMu guards budQ, the FIFO of per-tenant Budget stamps for credits
+	// taken via AcquireBudgeted. Credits are fungible, so when a grant
+	// refills n credits the n oldest stamps are released — attribution is
+	// FIFO-approximate when budgeted and unbudgeted traffic interleave on
+	// one link, but the sum of outstanding budget tokens always equals the
+	// number of budgeted credits still in flight, and every stamp is
+	// released by exactly one of Refill, RefundBudgeted, or Abort.
+	budMu sync.Mutex
+	budQ  []*Budget
 }
 
 // NewFlowLink wraps l with a credit window of w packets per direction.
@@ -67,10 +77,33 @@ func NewFlowLink(l Link, w int) *FlowLink {
 }
 
 // Abort marks the link finished, releasing every blocked Acquire (they
-// proceed and let the send itself fail). Idempotent; implied by Close and
-// Drop, and called explicitly when recovery replaces a failed link.
+// proceed and let the send itself fail) and returning every outstanding
+// budget stamp — credits on a dead link are never retired, and a tenant
+// must not stay charged for them. Idempotent; implied by Close and Drop,
+// and called explicitly when recovery replaces a failed link.
 func (f *FlowLink) Abort() {
 	f.deadOnce.Do(func() { close(f.dead) })
+	f.releaseBudgets(int(^uint(0) >> 1))
+}
+
+// releaseBudgets pops up to n stamps from the head of the budget FIFO and
+// returns their tokens.
+func (f *FlowLink) releaseBudgets(n int) {
+	f.budMu.Lock()
+	if n > len(f.budQ) {
+		n = len(f.budQ)
+	}
+	popped := f.budQ[:n]
+	rest := f.budQ[n:]
+	if len(rest) == 0 {
+		f.budQ = nil
+	} else {
+		f.budQ = append([]*Budget(nil), rest...)
+	}
+	f.budMu.Unlock()
+	for _, b := range popped {
+		b.Release(1)
+	}
 }
 
 // Window returns the link's per-direction credit window.
@@ -120,6 +153,59 @@ func (f *FlowLink) Acquire(stopA, stopB <-chan struct{}) bool {
 	}
 }
 
+// AcquireBudgeted takes one credit from the tenant budget b and one send
+// credit from the link's window as a single step, stamping the link credit
+// with the budget so the budget token returns automatically when the
+// credit does (inbound grant, refund of a failed send, or link death).
+// Aborting either side lets the caller proceed — a dead link or a closed
+// session must never wedge a sender — and the stamp discipline still
+// releases exactly once. Returns false only when a stop channel fired.
+func (f *FlowLink) AcquireBudgeted(b *Budget, stopA, stopB <-chan struct{}) bool {
+	if b == nil {
+		return f.Acquire(stopA, stopB)
+	}
+	if !b.Acquire(stopA, stopB) {
+		return false
+	}
+	if !f.Acquire(stopA, stopB) {
+		b.Release(1)
+		return false
+	}
+	f.budMu.Lock()
+	dead := false
+	select {
+	case <-f.dead:
+		dead = true
+	default:
+		f.budQ = append(f.budQ, b)
+	}
+	f.budMu.Unlock()
+	if dead {
+		// The link died before (or while) we stamped: Abort already swept
+		// the FIFO, so return the token directly rather than stranding it.
+		b.Release(1)
+	}
+	return true
+}
+
+// RefundBudgeted returns n unused send credits taken via AcquireBudgeted
+// (a failed send unwinding), releasing the newest n budget stamps — the
+// ones the unwinding sender itself just pushed.
+func (f *FlowLink) RefundBudgeted(n int) {
+	f.budMu.Lock()
+	k := n
+	if k > len(f.budQ) {
+		k = len(f.budQ)
+	}
+	popped := append([]*Budget(nil), f.budQ[len(f.budQ)-k:]...)
+	f.budQ = f.budQ[:len(f.budQ)-k]
+	f.budMu.Unlock()
+	for _, b := range popped {
+		b.Release(1)
+	}
+	f.Refund(n)
+}
+
 // Refund returns n unused send credits without waking anyone: the caller
 // is the would-be sender itself, unwinding a failed flush — possibly with
 // its own queue lock held, so no hook may run. Credits beyond the window
@@ -136,7 +222,10 @@ func (f *FlowLink) Refund(n int) {
 
 // Refill returns n send credits to the pool (an inbound grant from the
 // peer) and runs the refill hook — the egress queue's stall/resume wakeup.
+// The n oldest budget stamps are released first: the peer retiring n
+// packets is what frees the tenants those credits were charged to.
 func (f *FlowLink) Refill(n int) {
+	f.releaseBudgets(n)
 	f.Refund(n)
 	if hook := f.refillHook.Load(); hook != nil {
 		(*hook)()
@@ -161,6 +250,25 @@ func (f *FlowLink) Retire(n int) int {
 	for {
 		cur := f.retired.Load()
 		if cur < f.grantThreshold() {
+			return 0
+		}
+		if f.retired.CompareAndSwap(cur, 0) {
+			return int(cur)
+		}
+	}
+}
+
+// FlushRetired claims the accumulated retirements regardless of the grant
+// threshold. Receivers call it when their pipeline goes idle: no further
+// work is coming to push the accumulation over the threshold, and the peer
+// may be waiting on exactly these credits — a tenant sub-budget smaller
+// than threshold × fan-out exhausts before any single link accumulates a
+// quarter window, so threshold batching alone is a liveness guarantee only
+// for window-limited senders, not budget-limited ones.
+func (f *FlowLink) FlushRetired() int {
+	for {
+		cur := f.retired.Load()
+		if cur == 0 {
 			return 0
 		}
 		if f.retired.CompareAndSwap(cur, 0) {
