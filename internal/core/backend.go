@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -47,6 +48,11 @@ type BackEnd struct {
 	// so an idle back-end costs no timer traffic at all.
 	eg     *egressQueue
 	egKick chan struct{}
+
+	// seqCtr stamps this back-end's outbound packets with an origin
+	// sequence in exactly-once mode — the identity the whole tree's
+	// duplicate detection keys on.
+	seqCtr atomic.Uint64
 }
 
 func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
@@ -70,6 +76,12 @@ func newBackEnd(nw *Network, rank Rank, ep *transport.Endpoint) *BackEnd {
 		be.egKick = make(chan struct{}, 1)
 		be.eg = newEgressQueue(ep.Parent, nw.cfg.Batch, &nw.metrics, nw.recoverable(), kickFunc(be.egKick))
 		be.eg.bindStops(be.killCh, nw.dying)
+		if nw.xonce() {
+			// Leaves originate the upstream flow: their rings replay at
+			// reparent like every sender's, but acknowledgements carry no
+			// deferred retirements (nil sink) — popping just frees memory.
+			be.eg.enableReplay(nil)
+		}
 	}
 	return be
 }
@@ -146,6 +158,9 @@ func (be *BackEnd) Send(streamID uint32, tag int32, format string, values ...any
 // age policy (or retained across a parent failure on recoverable
 // networks), not necessarily that it is on the wire.
 func (be *BackEnd) SendPacket(p *packet.Packet) error {
+	if be.nw.xonce() && p.Seq == 0 && p.Tag != packet.TagControl {
+		p = p.WithSeq(packet.MakeSeq(be.rank, be.seqCtr.Add(1)))
+	}
 	if be.eg == nil {
 		if err := be.parentLink().Send(p); err != nil {
 			return fmt.Errorf("core: back-end %d send: %w", be.rank, err)

@@ -115,6 +115,16 @@ type Config struct {
 	// periodic liveness beacons that relay to the front-end, feeding the
 	// failure detector in internal/recovery.
 	HeartbeatPeriod time.Duration
+	// ExactlyOnce upgrades recovery from lossy rewiring to exactly-once
+	// upstream delivery (DESIGN.md §10): senders stamp per-origin sequence
+	// numbers and keep flushed-but-unacknowledged packets in a replay ring
+	// bounded by the credit window; receivers acknowledge cumulatively on
+	// the existing credit grants and retire inbound credits only when their
+	// own outputs are acknowledged downstream, so a grant means "delivered
+	// at the front-end". On reparent the ring replays and receivers drop
+	// the duplicates by sequence number. Requires LinkWindow > 0 (the ring
+	// bound is the window) and Recoverable (replay rides adoption).
+	ExactlyOnce bool
 }
 
 // Metrics exposes cheap global counters for tests and benchmarks.
@@ -157,6 +167,12 @@ type Metrics struct {
 	RewiredLinks         atomic.Int64 // replacement links minted (adopt/attach)
 	RecoveryNanos        atomic.Int64 // total time spent rewiring (ns)
 	ShutdownSendFailures atomic.Int64 // shutdown announcements to dead links
+
+	// Exactly-once recovery observability.
+	ReplayRingHighWater atomic.Int64 // deepest sender replay ring observed (packets)
+	PacketsReplayed     atomic.Int64 // ring packets re-flushed after a reparent
+	DupsDropped         atomic.Int64 // replay duplicates dropped by receivers
+	CheckpointsTaken    atomic.Int64 // per-node filter-state checkpoint rounds
 }
 
 // Network is a running TBON instance. The front-end API (NewStream,
@@ -195,6 +211,12 @@ type Network struct {
 
 	hbMu   sync.Mutex
 	lastHB map[Rank]time.Time
+
+	// ckptMu guards the front-end's cache of descendants' filter-state
+	// checkpoints (rank -> stream -> blob), folded into adoption
+	// composition when the front-end itself is the adopter.
+	ckptMu sync.Mutex
+	ckpts  map[Rank]map[uint32][]byte
 }
 
 // ErrShutdown is returned by front-end operations on a stopped network.
@@ -218,6 +240,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 		// Flow control retries credit-stalled and dead-link flushes on the
 		// age clock even when batching is off; it needs a sane bound.
 		cfg.Batch.MaxDelay = DefaultBatchDelay
+	}
+	if cfg.ExactlyOnce {
+		if cfg.LinkWindow <= 0 {
+			return nil, errors.New("core: ExactlyOnce requires LinkWindow (the replay ring is bounded by the credit window)")
+		}
+		if !cfg.Recoverable {
+			return nil, errors.New("core: ExactlyOnce requires Recoverable (replay happens at adoption reparent)")
+		}
 	}
 	var eps []*transport.Endpoint
 	switch cfg.Transport {
@@ -349,6 +379,12 @@ func (nw *Network) shardCount() int {
 // flowOn reports whether credit-based flow control is enabled.
 func (nw *Network) flowOn() bool { return nw.cfg.LinkWindow > 0 }
 
+// xonce reports whether exactly-once recovery is enabled.
+func (nw *Network) xonce() bool { return nw.cfg.ExactlyOnce }
+
+// ExactlyOnce reports whether the network runs exactly-once recovery.
+func (nw *Network) ExactlyOnce() bool { return nw.cfg.ExactlyOnce }
+
 // FlowControlled reports whether the network runs credit-based flow
 // control, and with what per-link window (0 when disabled).
 func (nw *Network) FlowControlled() int { return nw.cfg.LinkWindow }
@@ -393,6 +429,10 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"rewired_links":          m.RewiredLinks.Load(),
 		"recovery_nanos":         m.RecoveryNanos.Load(),
 		"shutdown_send_failures": m.ShutdownSendFailures.Load(),
+		"replay_ring_high_water": m.ReplayRingHighWater.Load(),
+		"packets_replayed":       m.PacketsReplayed.Load(),
+		"dups_dropped":           m.DupsDropped.Load(),
+		"checkpoints_taken":      m.CheckpointsTaken.Load(),
 	}
 }
 

@@ -162,6 +162,32 @@ type egressQueue struct {
 	// global high-water gauge, so the hot path pays an atomic only when
 	// it sets a new per-queue record.
 	localHW int
+
+	// Exactly-once replay state (enableReplay). xonce is set once, before
+	// the queue is shared, so hot paths read it lock-free; everything else
+	// is guarded by mu. Flushed data packets are appended to ring and stay
+	// there until the peer's cumulative grant acknowledgement covers them;
+	// setLink re-flushes the un-popped suffix to the replacement link ahead
+	// of everything else. The ring is bounded by the link window: a sender
+	// can never have more unacknowledged packets in flight than credits.
+	xonce bool
+	// ackSink receives the deferred inbound retirements attached to
+	// acknowledged packets (the per-node acker); nil at the back-end, where
+	// acknowledgements only free ring memory.
+	ackSink func([]*pendRetire)
+	ring    []ringEntry
+	// ringAcked counts ring entries popped since the current link was
+	// installed — the peer's cumulative count minus this is what a grant
+	// newly acknowledges.
+	ringAcked uint64
+	// replaying marks ring packets queued for re-flush by setLink but not
+	// yet re-sent: they must be neither re-appended to the ring when their
+	// flush completes nor double-queued by a second setLink.
+	replaying map[*packet.Packet]struct{}
+	// meta carries each enqueued packet's deferred retirement until the
+	// flush that sends it moves it into the ring.
+	meta   map[*packet.Packet]*pendRetire
+	ringHW int
 }
 
 // kickFunc returns a non-blocking notifier for ch — the egress queues'
@@ -219,6 +245,127 @@ func (q *egressQueue) adoptFlow(l transport.Link) {
 	// A grant from the peer may be the only thing that can restart a
 	// stalled queue: resume immediately on refill.
 	fl.SetRefillHook(q.unstall)
+	if q.xonce {
+		fl.SetAckHook(q.onAck)
+	}
+}
+
+// enableReplay switches the queue into exactly-once mode: flushed data
+// packets are held in the replay ring until the peer's cumulative grant
+// acknowledgement covers them, setLink re-flushes the ring to replacement
+// links, and sink (may be nil) receives the deferred inbound retirements
+// attached to acknowledged packets. Must be called before the queue is
+// shared with other goroutines.
+func (q *egressQueue) enableReplay(sink func([]*pendRetire)) {
+	q.xonce = true
+	q.ackSink = sink
+	if q.flow != nil {
+		q.flow.SetAckHook(q.onAck)
+	}
+}
+
+// sendAck enqueues a data packet like sendCtx, registering ack to be
+// completed when the peer acknowledges this packet. The last output of an
+// inbound run carries the run's deferred retirement — acknowledgements are
+// cumulative and flush order is FIFO, so covering the last packet covers
+// the run.
+func (q *egressQueue) sendAck(p *packet.Packet, prio int, block bool, ack *pendRetire) error {
+	if ack == nil || !q.xonce {
+		return q.sendCtx(p, prio, block)
+	}
+	q.mu.Lock()
+	displaced := q.meta[p]
+	if q.meta == nil {
+		q.meta = map[*packet.Packet]*pendRetire{}
+	}
+	q.meta[p] = ack
+	sink := q.ackSink
+	q.mu.Unlock()
+	if displaced != nil && displaced != ack && sink != nil {
+		// The same packet pointer enqueued again before its first flush
+		// (an in-process transport can hand a forwarded pointer back):
+		// complete the displaced retirement rather than leak it.
+		sink([]*pendRetire{displaced})
+	}
+	return q.sendCtx(p, prio, block)
+}
+
+// noteSent appends just-flushed data packets to the replay ring, in flush
+// order — including the sent prefix of a flush whose link died mid-way:
+// those packets are at risk exactly like any other unacknowledged flush.
+// Packets completing a setLink re-flush are already in the ring and are
+// only cleared from the replaying set.
+func (q *egressQueue) noteSent(sent []*packet.Packet) {
+	if len(sent) == 0 {
+		return
+	}
+	q.mu.Lock()
+	for _, p := range sent {
+		if p.Tag == packet.TagControl {
+			continue
+		}
+		if _, pending := q.replaying[p]; pending {
+			delete(q.replaying, p)
+			continue
+		}
+		var ack *pendRetire
+		if a, ok := q.meta[p]; ok {
+			ack = a
+			delete(q.meta, p)
+		}
+		q.ring = append(q.ring, ringEntry{p: p, ack: ack})
+	}
+	if n := len(q.ring); n > q.ringHW {
+		q.ringHW = n
+		for {
+			cur := q.m.ReplayRingHighWater.Load()
+			if int64(n) <= cur || q.m.ReplayRingHighWater.CompareAndSwap(cur, int64(n)) {
+				break
+			}
+		}
+	}
+	q.mu.Unlock()
+}
+
+// onAck runs on the link's reader goroutine when a grant arrives: the
+// peer's cumulative retirement count acknowledges a prefix of this queue's
+// flush order. Pop the covered ring entries and hand their deferred
+// retirements to the acker — never the wire from here (a reader blocked in
+// a send stops draining its own link). A grant can outrun noteSent on an
+// in-process transport; the pop clamps to the ring and the next cumulative
+// count covers the shortfall.
+func (q *egressQueue) onAck(n int, cum uint64) {
+	var acks []*pendRetire
+	q.mu.Lock()
+	target := q.ringAcked + uint64(n)
+	if cum > 0 {
+		target = cum
+	}
+	if target < q.ringAcked {
+		target = q.ringAcked
+	}
+	pop := int(target - q.ringAcked)
+	if pop > len(q.ring) {
+		pop = len(q.ring)
+	}
+	for i := 0; i < pop; i++ {
+		e := q.ring[i]
+		if e.ack != nil {
+			acks = append(acks, e.ack)
+		}
+		// Acknowledged while queued for re-flush: the copy still scheduled
+		// will be re-appended by its noteSent and retired as a duplicate by
+		// the peer — the count algebra stays consistent either way.
+		delete(q.replaying, e.p)
+		q.ring[i] = ringEntry{}
+	}
+	q.ring = q.ring[pop:]
+	q.ringAcked += uint64(pop)
+	sink := q.ackSink
+	q.mu.Unlock()
+	if len(acks) > 0 && sink != nil {
+		sink(acks)
+	}
 }
 
 // bindStops sets the channels that abort a blocked slot acquisition.
@@ -454,7 +601,13 @@ func (q *egressQueue) drainCause(cause int) error {
 // until the queue is empty, the peer's credit window is exhausted, the
 // round bound is hit, or the wire fails. Callers hold flushMu.
 func (q *egressQueue) flushLoop(cause int) error {
-	bypass := cause == flushDrain
+	// Drains normally bypass the credit window (shutdown must move even
+	// against a stalled peer), but a replaying queue cannot: every
+	// credit-bypassing send would grow the replay ring past the window
+	// bound W, and the exactly-once guarantee prices replay memory at
+	// exactly links × W. Past-window packets stay queued; the grant that
+	// retires in-flight data re-triggers the flush.
+	bypass := cause == flushDrain && !q.xonce
 	for round := 0; round < maxFlushRounds; round++ {
 		q.mu.Lock()
 		var batch []*packet.Packet
@@ -482,6 +635,12 @@ func (q *egressQueue) flushLoop(cause int) error {
 		q.mu.Unlock()
 
 		unsent, frames, err := q.sendFrames(batch, total)
+		if q.xonce {
+			// Ring-append the sent prefix even when the flush failed: those
+			// frames reached the wire before the link died, and losing them
+			// from the ring would make them unrecoverable.
+			q.noteSent(batch[: len(batch)-len(unsent) : len(batch)])
+		}
 		if frames > 0 {
 			q.m.FramesSent.Add(frames)
 			switch cause {
@@ -719,10 +878,44 @@ func (q *egressQueue) setLink(l transport.Link) {
 	q.mu.Lock()
 	if old := q.flow; old != nil {
 		old.SetRefillHook(nil)
+		old.SetAckHook(nil)
 	}
 	q.link = l
 	q.adoptFlow(l)
 	q.stalled = false
+	if q.xonce {
+		// The new peer's cumulative count starts at zero and will count the
+		// replayed packets first: re-flush the un-popped ring suffix ahead
+		// of everything, in ring order, so its prefix correspondence holds
+		// on the replacement link too. Entries already queued for re-flush
+		// by an earlier setLink are still at the schedule head; skip them.
+		q.ringAcked = 0
+		var replay []*packet.Packet
+		for _, e := range q.ring {
+			if _, pending := q.replaying[e.p]; pending {
+				continue
+			}
+			if q.replaying == nil {
+				q.replaying = map[*packet.Packet]struct{}{}
+			}
+			q.replaying[e.p] = struct{}{}
+			replay = append(replay, e.p)
+		}
+		if len(replay) > 0 {
+			q.sched.restore(replay)
+			// Their occupancy slots were released when they first flushed;
+			// best-effort reacquisition keeps the semaphore near the true
+			// queue depth (overflow past the window is tolerated here, as
+			// in every recovery path).
+			for range replay {
+				select {
+				case q.slots <- struct{}{}:
+				default:
+				}
+			}
+			q.m.PacketsReplayed.Add(int64(len(replay)))
+		}
+	}
 	queued := q.queuedLocked()
 	if queued > 0 {
 		q.oldest = time.Now()
@@ -759,6 +952,46 @@ func (q *egressQueue) clear() {
 	q.releaseSlots(dropped)
 	q.stalled = false
 	q.oldest = time.Time{}
+}
+
+// extract removes and returns every queued data packet, in wire order —
+// the exactly-once replacement for clear on a fenced dead child slot:
+// nothing queued there ever reached the wire, so the router re-routes the
+// packets through the repaired stream table instead of dropping them.
+// Control packets addressed to the dead child are dropped as before.
+func (q *egressQueue) extract() []*packet.Packet {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := q.queuedLocked()
+	if total == 0 {
+		return nil
+	}
+	var out []*packet.Packet
+	if q.sched != nil {
+		ps, _, _, _ := q.sched.take(nil, true)
+		for _, p := range ps {
+			if p.Tag != packet.TagControl {
+				out = append(out, p)
+			}
+		}
+	} else {
+		for _, p := range q.buf {
+			if p.Tag != packet.TagControl {
+				out = append(out, p)
+			}
+		}
+		q.buf, q.bytes = nil, 0
+	}
+	if d := total - len(out); d > 0 {
+		q.m.EgressDrops.Add(int64(d))
+	}
+	q.releaseSlots(total)
+	q.stalled = false
+	q.oldest = time.Time{}
+	return out
 }
 
 // pending reports how many packets are queued (tests, backpressure probes).

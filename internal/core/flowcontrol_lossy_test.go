@@ -1,0 +1,30 @@
+//go:build lossy
+
+package core
+
+import "testing"
+
+// TestOverlappingFailureCreditsOutstanding (lossy ablation): the
+// historical at-most-once behavior of the same scenario, kept behind
+// -tags lossy. Without sender replay, in-flight data at the crashed node
+// is lost — but the loss must stay within the spent credit windows (plus
+// wire buffers) on the affected links; anything beyond that means
+// retained buffers were dropped rather than re-flushed.
+func TestOverlappingFailureCreditsOutstanding(t *testing.T) {
+	kinds := []TransportKind{ChanTransport}
+	if !testing.Short() {
+		kinds = append(kinds, TCPTransport)
+	}
+	for _, kind := range kinds {
+		name := "chan"
+		if kind == TCPTransport {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			lostA, maxLost := overlappingFailureCreditsOutstanding(t, kind, false)
+			if lostA > maxLost {
+				t.Errorf("lost %d burst-A payloads, want <= ~%d (in-flight bound)", lostA, maxLost)
+			}
+		})
+	}
+}

@@ -159,7 +159,7 @@ func TestEgressCreditStallAndResume(t *testing.T) {
 	// deadline as already due, so the owner's very next poll flushes. The
 	// grant shares a frame with a data packet so the receive returns.
 	if err := transport.SendBatch(b, []*packet.Packet{
-		packet.NewCreditGrant(4),
+		packet.NewCreditGrant(4, 0),
 		packet.MustNew(tagQuery, 2, 2, "%d", int64(0)),
 	}); err != nil {
 		t.Fatal(err)
@@ -345,13 +345,14 @@ func TestSlowConsumerBoundedMemory(t *testing.T) {
 
 	// The baseline claim is existential — nothing bounds the queue, so it
 	// CAN blow past the window — but on a heavily loaded single-core host
-	// a starved producer may not balloon it in any one run; retry a couple
-	// of times before declaring the claim false.
+	// (worse under coverage instrumentation) a starved producer may not
+	// balloon it in any one run; retry a few times before declaring the
+	// claim false.
 	baseline := runSlowConsumer(t, ChanTransport, 0, streams, rounds)
 	if t.Failed() {
 		t.FailNow()
 	}
-	for attempt := 0; baseline.highWater <= int64(window) && attempt < 2; attempt++ {
+	for attempt := 0; baseline.highWater <= int64(window) && attempt < 4; attempt++ {
 		t.Logf("baseline high-water %d stayed within %d (attempt %d); retrying", baseline.highWater, window, attempt+1)
 		baseline = runSlowConsumer(t, ChanTransport, 0, streams, rounds)
 		if t.Failed() {
@@ -522,157 +523,142 @@ func TestControlFlowsThroughSaturatedDataPlane(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Chaos: failure with credits outstanding.
 
-// TestOverlappingFailureCreditsOutstanding extends the overlapping-failure
-// family to the flow-controlled plane: an internal node is killed while
-// credits are outstanding on every surrounding link (mid-stream, windows
-// partially spent). Adoption must rebuild fresh windows on the replacement
-// links — post-recovery traffic flows freely, retained buffers re-enter
-// the bound without double-spending — and nothing is ever duplicated.
-// In-flight loss at the crashed node is bounded by the spent windows.
-func TestOverlappingFailureCreditsOutstanding(t *testing.T) {
-	kinds := []TransportKind{ChanTransport}
-	if !testing.Short() {
-		kinds = append(kinds, TCPTransport)
-	}
-	for _, kind := range kinds {
-		name := "chan"
-		if kind == TCPTransport {
-			name = "tcp"
-		}
-		t.Run(name, func(t *testing.T) {
-			const window = 8
-			const burstA, burstB = 30, 20
-			tree := mustTree(t, "kary:4^2")
-			var stID uint32
-			start := make(chan struct{})
-			phaseB := make(chan struct{})
-			var aSent sync.WaitGroup
-			aSent.Add(len(tree.Leaves()))
-			nw, err := NewNetwork(Config{
-				Topology:    tree,
-				Transport:   kind,
-				Recoverable: true,
-				Batch:       BatchPolicy{MaxBatch: 4, MaxDelay: time.Millisecond},
-				LinkWindow:  window,
-				OnBackEnd: func(be *BackEnd) error {
-					<-start
-					for i := 0; i < burstA; i++ {
-						if err := be.Send(stID, tagQuery, "%d", int64(be.Rank())*1000+int64(i)); err != nil {
-							break
-						}
-					}
-					aSent.Done()
-					<-phaseB
-					for i := burstA; i < burstA+burstB; i++ {
-						if err := be.Send(stID, tagQuery, "%d", int64(be.Rank())*1000+int64(i)); err != nil {
-							break
-						}
-					}
-					for {
-						if _, err := be.Recv(); err != nil {
-							return nil
-						}
-					}
-				},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			st, err := nw.NewStream(StreamSpec{Synchronization: "nullsync", RecvBuffer: 8192})
-			if err != nil {
-				t.Fatal(err)
-			}
-			stID = st.ID()
-
-			victim := tree.InternalNodes()[0]
-			victimLeaves := map[int64]bool{}
-			for _, c := range tree.Children(victim) {
-				victimLeaves[int64(c)] = true
-			}
-			close(start)
-			// Kill mid-burst: windows toward and from the victim are spent,
-			// and its back-ends wedge against their 8-packet bound with
-			// credits outstanding (burst A is far larger than the window).
-			time.Sleep(2 * time.Millisecond)
-			if err := nw.Kill(victim); err != nil {
-				t.Fatal(err)
-			}
-			// Adoption must rebuild the windows: only then can the orphans'
-			// blocked handlers finish burst A through the replacement links.
-			if _, err := nw.Adopt(victim, nil); err != nil {
-				t.Fatal(err)
-			}
-			aSent.Wait()
-			close(phaseB)
-
-			got := map[int64]int{}
-			deadline := time.Now().Add(60 * time.Second)
-			// Burst B is sent entirely after adoption over rebuilt windows:
-			// it must arrive completely. Collect until every leaf's burst B
-			// is in (or the deadline explains what wedged).
-			want := len(tree.Leaves()) * burstB
-			haveB := 0
-			for haveB < want {
-				p, err := st.RecvTimeout(time.Until(deadline))
-				if err != nil {
-					t.Fatalf("with %d of %d post-recovery packets: %v", haveB, want, err)
-				}
-				v, err := p.Int(0)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got[v]++
-				if v%1000 >= burstA {
-					haveB++
-				}
-			}
-			if err := nw.Shutdown(); err != nil {
-				t.Fatal(err)
-			}
-			for {
-				p, err := st.Recv()
-				if err == io.EOF {
+// overlappingFailureCreditsOutstanding is the shared runner of the
+// failure-with-credits-outstanding chaos scenario: an internal node is
+// killed while credits are outstanding on every surrounding link
+// (mid-stream, windows partially spent), and adoption must rebuild fresh
+// windows on the replacement links. Post-recovery traffic (burst B) must
+// always arrive completely and nothing may ever be duplicated — those are
+// asserted here. How much in-flight burst-A data may be lost is the build
+// variant's policy: the default (exactly-once) build demands zero, the
+// `lossy` ablation build keeps the historical spent-window bound. Returns
+// (burst-A payloads lost, the historical loss bound).
+func overlappingFailureCreditsOutstanding(t *testing.T, kind TransportKind, exactlyOnce bool) (lostA, maxLost int) {
+	t.Helper()
+	const window = 8
+	const burstA, burstB = 30, 20
+	tree := mustTree(t, "kary:4^2")
+	var stID uint32
+	start := make(chan struct{})
+	phaseB := make(chan struct{})
+	var aSent sync.WaitGroup
+	aSent.Add(len(tree.Leaves()))
+	nw, err := NewNetwork(Config{
+		Topology:    tree,
+		Transport:   kind,
+		Recoverable: true,
+		ExactlyOnce: exactlyOnce,
+		Batch:       BatchPolicy{MaxBatch: 4, MaxDelay: time.Millisecond},
+		LinkWindow:  window,
+		OnBackEnd: func(be *BackEnd) error {
+			<-start
+			for i := 0; i < burstA; i++ {
+				if err := be.Send(stID, tagQuery, "%d", int64(be.Rank())*1000+int64(i)); err != nil {
 					break
 				}
-				if err != nil {
-					t.Fatal(err)
-				}
-				if v, err := p.Int(0); err == nil {
-					got[v]++
-				}
 			}
-
-			lostA := 0
-			for _, leaf := range tree.Leaves() {
-				for i := 0; i < burstA+burstB; i++ {
-					v := int64(leaf)*1000 + int64(i)
-					switch got[v] {
-					case 0:
-						if i >= burstA {
-							t.Errorf("post-recovery payload %d lost: window not rebuilt?", v)
-						} else {
-							lostA++
-						}
-					case 1:
-						// exactly once: good
-					default:
-						t.Errorf("payload %d delivered %d times (duplicated by re-flush)", v, got[v])
-					}
+			aSent.Done()
+			<-phaseB
+			for i := burstA; i < burstA+burstB; i++ {
+				if err := be.Send(stID, tagQuery, "%d", int64(be.Rank())*1000+int64(i)); err != nil {
+					break
 				}
 			}
-			// Burst-A loss is the in-flight data at the crashed node; each
-			// affected link can lose at most ~a window (plus frames in the
-			// wire buffers). Anything drastically beyond that means retained
-			// buffers were dropped rather than re-flushed.
-			links := len(tree.Children(victim)) + 1
-			maxLost := links * (window + 2*transport.DefaultChanBuffer)
-			if lostA > maxLost {
-				t.Errorf("lost %d burst-A payloads, want <= ~%d (in-flight bound)", lostA, maxLost)
+			for {
+				if _, err := be.Recv(); err != nil {
+					return nil
+				}
 			}
-			t.Logf("%s: lostA=%d bound=%d grants=%d stalls=%d", name, lostA, maxLost,
-				nw.Metrics().CreditGrants.Load(), nw.Metrics().CreditStalls.Load())
-		})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	st, err := nw.NewStream(StreamSpec{Synchronization: "nullsync", RecvBuffer: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stID = st.ID()
+
+	victim := tree.InternalNodes()[0]
+	close(start)
+	// Kill mid-burst: windows toward and from the victim are spent,
+	// and its back-ends wedge against their 8-packet bound with
+	// credits outstanding (burst A is far larger than the window).
+	time.Sleep(2 * time.Millisecond)
+	if err := nw.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Adoption must rebuild the windows: only then can the orphans'
+	// blocked handlers finish burst A through the replacement links.
+	if _, err := nw.Adopt(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+	aSent.Wait()
+	close(phaseB)
+
+	got := map[int64]int{}
+	deadline := time.Now().Add(60 * time.Second)
+	// Burst B is sent entirely after adoption over rebuilt windows:
+	// it must arrive completely. Collect until every leaf's burst B
+	// is in (or the deadline explains what wedged).
+	want := len(tree.Leaves()) * burstB
+	haveB := 0
+	for haveB < want {
+		p, err := st.RecvTimeout(time.Until(deadline))
+		if err != nil {
+			t.Fatalf("with %d of %d post-recovery packets: %v", haveB, want, err)
+		}
+		v, err := p.Int(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[v]++
+		if v%1000 >= burstA {
+			haveB++
+		}
+	}
+	if err := nw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		p, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Int(0); err == nil {
+			got[v]++
+		}
+	}
+
+	for _, leaf := range tree.Leaves() {
+		for i := 0; i < burstA+burstB; i++ {
+			v := int64(leaf)*1000 + int64(i)
+			switch got[v] {
+			case 0:
+				if i >= burstA {
+					t.Errorf("post-recovery payload %d lost: window not rebuilt?", v)
+				} else {
+					lostA++
+				}
+			case 1:
+				// exactly once: good
+			default:
+				t.Errorf("payload %d delivered %d times (duplicated by re-flush)", v, got[v])
+			}
+		}
+	}
+	// The historical bound: in-flight data at the crashed node, at most
+	// ~a window per affected link (plus frames in the wire buffers).
+	links := len(tree.Children(victim)) + 1
+	maxLost = links * (window + 2*transport.DefaultChanBuffer)
+	t.Logf("lostA=%d historical-bound=%d grants=%d stalls=%d replayed=%d dups-dropped=%d",
+		lostA, maxLost, nw.Metrics().CreditGrants.Load(), nw.Metrics().CreditStalls.Load(),
+		nw.Metrics().PacketsReplayed.Load(), nw.Metrics().DupsDropped.Load())
+	return lostA, maxLost
 }
 
 // TestReparentWithSaturatedWindowsDepth3 is the regression test for the

@@ -75,7 +75,7 @@ func retireAndGrant(m *Metrics, fl *transport.FlowLink, n int) {
 	}
 	if g := fl.Retire(n); g > 0 {
 		m.CreditGrants.Add(1)
-		_ = fl.Send(packet.NewCreditGrant(uint32(g)))
+		_ = fl.Send(fl.GrantPacket(g))
 	}
 }
 
@@ -93,7 +93,7 @@ func flushGrant(m *Metrics, fl *transport.FlowLink) {
 	}
 	if g := fl.FlushRetired(); g > 0 {
 		m.CreditGrants.Add(1)
-		_ = fl.Send(packet.NewCreditGrant(uint32(g)))
+		_ = fl.Send(fl.GrantPacket(g))
 	}
 }
 

@@ -55,6 +55,13 @@ type feState struct {
 	// attachCh delivers links for back-ends attached directly under the
 	// front-end (flat topologies; see AttachBackEnd).
 	attachCh chan attachMsg
+
+	// ackTrack maps each inbound child link to its in-order retirement
+	// tracker (exactly-once mode, router-owned): the front-end is the
+	// acknowledgement cascade's base case — delivery here IS the ack — but
+	// its grants must still follow arrival order for the cumulative count
+	// to acknowledge a prefix of the child's replay ring.
+	ackTrack map[*transport.FlowLink]*inOrder
 }
 
 func (fe *feState) state(id uint32) *streamState {
@@ -326,7 +333,11 @@ func (fe *feState) handleUp(child int, ps []*packet.Packet) {
 	for i := 0; i < len(ps); {
 		p := ps[i]
 		if p.Tag == packet.TagControl {
-			fe.handleOrderFree(p)
+			if op, err := ctrlOp(p); err == nil && op == opCheckpoint {
+				fe.nw.cacheCheckpoint(p)
+			} else {
+				fe.handleOrderFree(p)
+			}
 			i++
 			continue
 		}
@@ -334,16 +345,43 @@ func (fe *feState) handleUp(child int, ps []*packet.Packet) {
 		run := ps[i:j]
 		i = j
 		fe.nw.metrics.PacketsUp.Add(int64(len(run)))
+		tr, start := fe.assignArrival(src, len(run))
 		ss := fe.state(p.StreamID)
 		if ss == nil {
 			// Unknown (e.g. just-closed) stream: drop — there is no
 			// receiver — but still retire the packets so the sender's
-			// credits come back.
-			fe.retireNow(src, len(run))
+			// credits come back (in arrival order under exactly-once).
+			fe.retireOrdered(src, tr, start, len(run))
 			continue
 		}
-		fe.shards.up(ss, child, run, fe.backlogged(), src)
+		fe.shards.up(ss, child, run, fe.backlogged(), src, tr, start)
 	}
+}
+
+// assignArrival allocates in-order arrival indices for a run from src
+// (exactly-once mode; nil tracker otherwise). Router-only.
+func (fe *feState) assignArrival(src *transport.FlowLink, nPkts int) (*inOrder, uint64) {
+	if src == nil || !fe.nw.xonce() {
+		return nil, 0
+	}
+	if fe.ackTrack == nil {
+		fe.ackTrack = map[*transport.FlowLink]*inOrder{}
+	}
+	t := fe.ackTrack[src]
+	if t == nil {
+		t = &inOrder{}
+		fe.ackTrack[src] = t
+	}
+	return t, t.assign(nPkts)
+}
+
+// retireOrdered retires a router-dropped run, releasing only the newly
+// contiguous arrival prefix when a tracker is in play.
+func (fe *feState) retireOrdered(fl *transport.FlowLink, tr *inOrder, start uint64, n int) {
+	if tr != nil {
+		n = tr.complete(start, n)
+	}
+	fe.retireNow(fl, n)
 }
 
 // retireNow retires n dropped inbound packets from router context.
@@ -359,16 +397,23 @@ func (fe *feState) backlogged() bool {
 
 // shardUp runs the root-level pipeline for one run. Called from the
 // stream's up-lane worker (or the router's inline fast path); takes the
-// stream's pipeline lock itself.
-func (fe *feState) shardUp(ss *streamState, child int, run []*packet.Packet) {
+// stream's pipeline lock itself. The front-end never consumes the
+// deferred retirement: delivery happens right here, so the shard's
+// immediate (in-order) retirement after this call IS the end-to-end
+// acknowledgement — the base case of the cascade.
+func (fe *feState) shardUp(ss *streamState, child int, run []*packet.Packet, ret *pendRetire) bool {
 	ss.pipeMu.Lock()
 	defer ss.pipeMu.Unlock()
+	if fe.nw.xonce() {
+		run = ss.dropDups(run, &fe.nw.metrics)
+	}
 	fe.flushBatches(ss, ss.addBatch(child, run))
+	return false
 }
 
 // shardUpRaw is unused at the root: unknown streams are dropped by the
 // router before dispatch.
-func (fe *feState) shardUpRaw([]*packet.Packet) {}
+func (fe *feState) shardUpRaw([]*packet.Packet, *pendRetire) bool { return false }
 
 // shardDown is unused at the root: the front-end originates downstream
 // traffic, it never routes it.

@@ -92,6 +92,19 @@ type node struct {
 	// heartbeat goroutine); epMu guards ep.Children structure for Kill.
 	parentMu sync.RWMutex
 	epMu     sync.Mutex
+
+	// Exactly-once state (Config.ExactlyOnce; all nil/unused otherwise).
+	// ackTrack maps each inbound child link to its in-order retirement
+	// tracker (router-owned; see inOrder). ackr turns parent
+	// acknowledgements into child credit grants off the reader goroutines.
+	// ckpts caches descendants' filter-state checkpoints (router-owned,
+	// rank -> stream -> blob) for adoption-time composition. reroute
+	// stashes a fenced dead child's never-sent queued packets for
+	// re-routing after the adoption repairs the stream table.
+	ackTrack map[*transport.FlowLink]*inOrder
+	ackr     *acker
+	ckpts    map[Rank]map[uint32][]byte
+	reroute  []*packet.Packet
 }
 
 // run executes the communication-process router loop: route downstream
@@ -125,6 +138,14 @@ func (n *node) run() {
 	kick := kickFunc(n.egKick)
 	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable(), kick)
 	n.parentOut.bindStops(n.killCh, n.nw.dying)
+	if n.nw.xonce() {
+		n.ackTrack = map[*transport.FlowLink]*inOrder{}
+		n.ackr = newAcker(&n.nw.metrics)
+		defer n.ackr.halt()
+		// Parent acknowledgements pop the replay ring and release the
+		// inbound runs those packets carried — the cascade hop.
+		n.parentOut.enableReplay(n.ackr.completed)
+	}
 	n.childOut = make([]*egressQueue, len(n.ep.Children))
 	for i, c := range n.ep.Children {
 		n.childOut[i] = newEgressQueue(c, pol, &n.nw.metrics, false, kick)
@@ -278,7 +299,14 @@ func (n *node) installChild(slot int, l transport.Link) {
 		n.childOut = append(n.childOut, nil)
 	}
 	if l == nil {
-		n.childOut[slot].clear()
+		if n.nw.xonce() {
+			// Exactly-once: the fenced queue's packets never reached the
+			// wire; stash them for re-routing once the adoption has
+			// repaired the stream table (handleCmd), instead of dropping.
+			n.reroute = append(n.reroute, n.childOut[slot].extract()...)
+		} else {
+			n.childOut[slot].clear()
+		}
 		n.childOut[slot] = nil
 		return
 	}
@@ -658,6 +686,8 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 			// egress buffer.
 			if orderFreeControl(p) {
 				n.handleOrderFree(p)
+			} else if op, err := ctrlOp(p); err == nil && op == opCheckpoint {
+				n.cacheCheckpoint(p)
 			} else if !n.orphaned {
 				_ = n.parentOut.sendNow(p)
 			}
@@ -668,17 +698,56 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 		run := ps[i:j]
 		i = j
 		n.nw.metrics.PacketsUp.Add(int64(len(run)))
+		tr, start := n.assignArrival(src, len(run))
 		ss, ok := n.streams[p.StreamID]
 		if !ok {
 			// Stream unknown here (e.g. closed): pass through unfiltered,
 			// via the shard the id hashes to so late data stays behind a
 			// just-dispatched close drain.
-			n.shards.upRaw(p.StreamID, run, src)
+			n.shards.upRaw(p.StreamID, run, src, tr, start)
 			continue
 		}
-		n.shards.up(ss, child, run, n.backlogged(), src)
+		n.shards.up(ss, child, run, n.backlogged(), src, tr, start)
 	}
 	return false
+}
+
+// assignArrival allocates in-order arrival indices for a run from src
+// (exactly-once mode; nil tracker otherwise). Router-only: assignment
+// order must be arrival order.
+func (n *node) assignArrival(src *transport.FlowLink, nPkts int) (*inOrder, uint64) {
+	if src == nil || n.ackTrack == nil {
+		return nil, 0
+	}
+	t := n.ackTrack[src]
+	if t == nil {
+		t = &inOrder{}
+		n.ackTrack[src] = t
+	}
+	return t, t.assign(nPkts)
+}
+
+// cacheCheckpoint records a descendant's filter-state checkpoint for
+// adoption-time composition, then relays it one level further while its
+// hop budget lasts — so the state an adopter needs is already at the
+// grandparent (and great-grandparent) when the parent dies.
+func (n *node) cacheCheckpoint(p *packet.Packet) {
+	origin, id, hops, blob, err := parseCheckpoint(p)
+	if err != nil {
+		return
+	}
+	m := n.ckpts[origin]
+	if m == nil {
+		if n.ckpts == nil {
+			n.ckpts = map[Rank]map[uint32][]byte{}
+		}
+		m = map[uint32][]byte{}
+		n.ckpts[origin] = m
+	}
+	m[id] = blob
+	if hops > 1 && !n.orphaned {
+		_ = n.parentOut.sendNow(ckptPacket(origin, id, hops-1, blob))
+	}
 }
 
 // backlogged reports whether dispatching to shard workers can pay: more
@@ -692,18 +761,31 @@ func (n *node) backlogged() bool {
 
 // shardUp runs the upstream pipeline for one run: synchronize, transform,
 // egress. Called from the stream's up-lane worker (or the router's inline
-// fast path); takes the stream's pipeline lock itself.
-func (n *node) shardUp(ss *streamState, child int, run []*packet.Packet) {
+// fast path); takes the stream's pipeline lock itself. In exactly-once
+// mode replay duplicates are dropped first (retirement still counts them:
+// the peer spent credits on the copies too), and the run's deferred
+// retirement rides the last forwarded output — consuming it means the run
+// is released only when the parent acknowledges those outputs.
+func (n *node) shardUp(ss *streamState, child int, run []*packet.Packet, ret *pendRetire) bool {
 	ss.pipeMu.Lock()
 	defer ss.pipeMu.Unlock()
-	n.flushBatchesCtx(ss, ss.addBatch(child, run), true)
+	if n.nw.xonce() {
+		run = ss.dropDups(run, &n.nw.metrics)
+	}
+	return n.flushBatchesAck(ss, ss.addBatch(child, run), true, ret)
 }
 
-// shardUpRaw forwards a pass-through run (stream not carried here).
-func (n *node) shardUpRaw(run []*packet.Packet) {
-	for _, q := range run {
-		_ = n.parentOut.send(q)
+// shardUpRaw forwards a pass-through run (stream not carried here); the
+// deferred retirement rides the last packet.
+func (n *node) shardUpRaw(run []*packet.Packet, ret *pendRetire) bool {
+	for i, q := range run {
+		if ret != nil && i == len(run)-1 {
+			_ = n.parentOut.sendAck(q, 0, true, ret)
+		} else {
+			_ = n.parentOut.send(q)
+		}
 	}
+	return ret != nil && len(run) > 0 && n.parentOut.xonce
 }
 
 // shardDownRaw floods an unknown-stream downstream packet to every child
@@ -747,6 +829,45 @@ func (n *node) shardCloseUp(ss *streamState) {
 	n.flushBatchesCtx(ss, ss.drain(), true)
 }
 
+// flushBatchesAck is flushBatchesCtx with the run's deferred retirement
+// attached to the last forwarded output, reporting whether it was attached
+// (false when the batches produced no output — synchronizer holding, every
+// packet a duplicate — in which case the caller retires immediately; for
+// synchronizer-holding stateful filters that slack is what the checkpoint
+// cadence covers, see DESIGN.md §10). Fresh transform outputs are stamped
+// with this node's origin sequence; forwarded packets keep their origin
+// stamp, which is what lets the front-end recognize a replayed copy of a
+// packet a killed intermediary had already forwarded.
+func (n *node) flushBatchesAck(ss *streamState, batches [][]*packet.Packet, block bool, ret *pendRetire) bool {
+	var outs []*packet.Packet
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		n.nw.metrics.Batches.Add(1)
+		out, err := ss.tform.Transform(batch)
+		if err != nil {
+			n.nw.metrics.FilterErrors.Add(1)
+			continue
+		}
+		outs = append(outs, out...)
+	}
+	xonce := n.nw.xonce()
+	for i, q := range outs {
+		p := q.WithStreamSrc(ss.id, n.rank)
+		if xonce && p.Seq == 0 {
+			ss.seqCtr++
+			p = p.WithSeq(packet.MakeSeq(n.rank, ss.seqCtr))
+		}
+		if ret != nil && i == len(outs)-1 {
+			_ = n.parentOut.sendAck(p, ss.prio, block, ret)
+		} else {
+			_ = n.parentOut.sendCtx(p, ss.prio, block)
+		}
+	}
+	return ret != nil && len(outs) > 0 && n.parentOut.xonce
+}
+
 // shardCloseDown forwards the close downstream behind the stream's prior
 // downstream data (its down-lane FIFO position).
 func (n *node) shardCloseDown(ss *streamState, p *packet.Packet) {
@@ -772,20 +893,7 @@ func (n *node) flushBatches(ss *streamState, batches [][]*packet.Packet) {
 // upstream. block selects between the pipeline workers' hard window bound
 // and the router's overflow mode.
 func (n *node) flushBatchesCtx(ss *streamState, batches [][]*packet.Packet, block bool) {
-	for _, batch := range batches {
-		if len(batch) == 0 {
-			continue
-		}
-		n.nw.metrics.Batches.Add(1)
-		out, err := ss.tform.Transform(batch)
-		if err != nil {
-			n.nw.metrics.FilterErrors.Add(1)
-			continue
-		}
-		for _, q := range out {
-			_ = n.parentOut.sendCtx(q.WithStreamSrc(ss.id, n.rank), ss.prio, block)
-		}
-	}
+	n.flushBatchesAck(ss, batches, block, nil)
 }
 
 // pollEgress releases egress age flushes that have come due. Synchronizer

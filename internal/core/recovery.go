@@ -90,9 +90,26 @@ type cmdReparent struct {
 	reply chan error
 }
 
-func (*cmdSnapshot) isNodeCmd() {}
-func (*cmdAdopt) isNodeCmd()    {}
-func (*cmdReparent) isNodeCmd() {}
+// cmdCheckpoint asks a node to checkpoint its per-stream composable filter
+// state upstream (opCheckpoint control packets, cached ckptHops levels up
+// at its potential adopters). Replies with the number of streams
+// checkpointed.
+type cmdCheckpoint struct {
+	reply chan int
+}
+
+// cmdFetchCkpt reads the node's cached checkpoint blobs for one (failed)
+// descendant rank, for adoption-time composition.
+type cmdFetchCkpt struct {
+	rank  Rank
+	reply chan map[uint32][]byte
+}
+
+func (*cmdSnapshot) isNodeCmd()   {}
+func (*cmdAdopt) isNodeCmd()      {}
+func (*cmdReparent) isNodeCmd()   {}
+func (*cmdCheckpoint) isNodeCmd() {}
+func (*cmdFetchCkpt) isNodeCmd()  {}
 
 // handleCmd executes a recovery command inside the node's event loop.
 // Commands that read or rebuild filter state park the pipeline shards
@@ -125,6 +142,7 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		}
 		n.quiesceShards(func() {
 			applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox, n.ctrlLane, n.readStop)
+			n.redispatchStash(cmd.slots)
 		})
 		n.liveChildren += len(cmd.links)
 		if n.shuttingDown {
@@ -170,6 +188,60 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		})
 		go readLink(link, -1, inbox, n.ctrlLane, n.readStop)
 		cmd.reply <- nil
+	case *cmdCheckpoint:
+		// Snapshot under quiesce (a consistent cut of every stream's filter
+		// state), send outside it: sendNow keeps control FIFO behind queued
+		// data without waiting out a batching window.
+		blobs := map[uint32][]byte{}
+		n.quiesceShards(func() {
+			for id, ss := range n.streams {
+				if st, ok := ss.tform.(filter.StatefulTransformation); ok {
+					if blob, err := st.State(); err == nil && len(blob) > 0 {
+						blobs[id] = blob
+					}
+				}
+			}
+		})
+		if !n.orphaned {
+			for id, blob := range blobs {
+				_ = n.parentOut.sendNow(ckptPacket(n.rank, id, ckptHops, blob))
+			}
+		}
+		if len(blobs) > 0 {
+			n.nw.metrics.CheckpointsTaken.Add(int64(len(blobs)))
+		}
+		cmd.reply <- len(blobs)
+	case *cmdFetchCkpt:
+		out := make(map[uint32][]byte, len(n.ckpts[cmd.rank]))
+		for id, b := range n.ckpts[cmd.rank] {
+			out[id] = b
+		}
+		cmd.reply <- out
+	}
+}
+
+// redispatchStash re-routes a fenced dead child's never-sent queued
+// packets through the repaired stream table: they were destined for the
+// dead child's subtree, whose members are now reachable through the newly
+// adopted slots. Runs under quiesce right after applyAdoption; sends are
+// router-context (non-blocking) so recovery never wedges on a full window.
+func (n *node) redispatchStash(slots []int) {
+	if len(n.reroute) == 0 {
+		return
+	}
+	stash := n.reroute
+	n.reroute = nil
+	for _, p := range stash {
+		ss := n.streams[p.StreamID]
+		if ss == nil {
+			continue
+		}
+		down := ss.routeSnapshot()
+		for _, slot := range slots {
+			if slot < len(down) && down[slot] && slot < len(n.childOut) && n.childOut[slot] != nil {
+				_ = n.childOut[slot].sendCtx(p, ss.prio, false)
+			}
+		}
 	}
 }
 
@@ -327,6 +399,47 @@ func (nw *Network) HeartbeatPeriod() time.Duration { return nw.cfg.HeartbeatPeri
 
 // Registry returns the filter registry the overlay instantiates from.
 func (nw *Network) Registry() *filter.Registry { return nw.registry }
+
+// cacheCheckpoint records a descendant's filter-state checkpoint observed
+// at the front-end — the adopter when one of the root's own children dies.
+func (nw *Network) cacheCheckpoint(p *packet.Packet) {
+	origin, id, _, blob, err := parseCheckpoint(p)
+	if err != nil {
+		return
+	}
+	nw.ckptMu.Lock()
+	if nw.ckpts == nil {
+		nw.ckpts = map[Rank]map[uint32][]byte{}
+	}
+	m := nw.ckpts[origin]
+	if m == nil {
+		m = map[uint32][]byte{}
+		nw.ckpts[origin] = m
+	}
+	m[id] = blob
+	nw.ckptMu.Unlock()
+}
+
+// CheckpointNow asks every internal node to checkpoint its per-stream
+// composable filter state toward its potential adopters, returning the
+// number of (node, stream) checkpoints taken. internal/recovery drives
+// this periodically (Config.CheckpointPeriod); tests call it directly.
+func (nw *Network) CheckpointNow() int {
+	nw.mu.Lock()
+	nodes := make([]*node, 0, len(nw.byRank))
+	for _, n := range nw.byRank {
+		nodes = append(nodes, n)
+	}
+	nw.mu.Unlock()
+	total := 0
+	for _, n := range nodes {
+		c := &cmdCheckpoint{reply: make(chan int, 1)}
+		if err := nw.sendNodeCmd(n, c); err == nil {
+			total += <-c.reply
+		}
+	}
+	return total
+}
 
 // noteHeartbeat records a liveness beacon observed at the front-end.
 func (nw *Network) noteHeartbeat(origin Rank) {
@@ -509,6 +622,29 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 		}
 	}
 
+	// 1b. The adopter may hold the failed node's own last checkpoint
+	// (opCheckpoint travels ckptHops levels up): fold it in as one more
+	// composition input. Safe for mergeable, monotone filter states —
+	// re-absorbing an older self is idempotent there — and it recovers
+	// information that was already above the orphans, in flight with the
+	// failed node, when it crashed.
+	var ckpt map[uint32][]byte
+	if adopterNode != nil {
+		c := &cmdFetchCkpt{rank: failed, reply: make(chan map[uint32][]byte, 1)}
+		if err := nw.sendNodeCmd(adopterNode, c); err == nil {
+			ckpt = <-c.reply
+		}
+	} else {
+		nw.ckptMu.Lock()
+		if m := nw.ckpts[failed]; len(m) > 0 {
+			ckpt = make(map[uint32][]byte, len(m))
+			for id, b := range m {
+				ckpt[id] = b
+			}
+		}
+		nw.ckptMu.Unlock()
+	}
+
 	// 2. Reconstruct the failed node's state per stream by composition.
 	composed := map[uint32][]byte{}
 	if compose != nil {
@@ -518,14 +654,20 @@ func (nw *Network) Adopt(failed Rank, compose StateComposer) (*Adoption, error) 
 				ids[id] = true
 			}
 		}
+		for id := range ckpt {
+			ids[id] = true
+		}
 		for id := range ids {
 			fss := nw.fe.state(id)
 			if fss == nil {
 				continue
 			}
-			blobs := make([][]byte, len(orphans))
+			blobs := make([][]byte, len(orphans), len(orphans)+1)
 			for i, s := range snaps {
 				blobs[i] = s[id]
+			}
+			if b := ckpt[id]; len(b) > 0 {
+				blobs = append(blobs, b)
 			}
 			blob, err := compose(id, fss.tformName, blobs)
 			if err != nil {

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// This file holds the building blocks of exactly-once recovery
+// (Config.ExactlyOnce, DESIGN.md §10): the receiver-side duplicate window,
+// the in-order retirement tracker that makes cumulative grant
+// acknowledgements meaningful, the deferred-retirement records that chain
+// acknowledgements level by level toward the front-end, and the per-node
+// acker goroutine that turns downstream acknowledgements into upstream
+// credit grants off the link reader goroutines.
+
+// seqWinSpan is the width of the duplicate-detection window, in sequence
+// counters per (stream, origin) pair. Replay duplicates trail their
+// original by at most the in-flight packets of the failed region (a few
+// link windows), so the window only needs to out-span that reorder
+// distance — 4096 leaves two orders of magnitude of slack.
+const seqWinSpan = 4096
+
+// seqWin is a sliding bitmap over one origin's sequence counters on one
+// stream: seen reports (and records) whether a counter was already
+// delivered. Counters behind the window are judged duplicates — per-link
+// FIFO plus in-order replay means a genuinely new packet can never trail
+// the newest by a full window, and the conservative direction merely drops
+// a replayed copy rather than ever delivering one twice.
+type seqWin struct {
+	hi   uint64 // highest counter observed (0: none yet)
+	bits [seqWinSpan / 64]uint64
+}
+
+func (w *seqWin) set(c uint64)       { w.bits[(c%seqWinSpan)/64] |= 1 << (c % 64) }
+func (w *seqWin) clear(c uint64)     { w.bits[(c%seqWinSpan)/64] &^= 1 << (c % 64) }
+func (w *seqWin) test(c uint64) bool { return w.bits[(c%seqWinSpan)/64]&(1<<(c%64)) != 0 }
+
+// seen records counter c and reports whether it was already present.
+// Counter 0 is the reserved "unstamped" value and is never a duplicate.
+func (w *seqWin) seen(c uint64) bool {
+	if c == 0 {
+		return false
+	}
+	switch {
+	case c > w.hi:
+		// New high: slots between the old and new high leave the window,
+		// so their stale bits must not shadow future counters.
+		if c-w.hi >= seqWinSpan {
+			w.bits = [seqWinSpan / 64]uint64{}
+		} else {
+			for s := w.hi + 1; s < c; s++ {
+				w.clear(s)
+			}
+		}
+		w.hi = c
+		w.set(c)
+		return false
+	case c+seqWinSpan <= w.hi:
+		return true // behind the window: only a replay can be this old
+	case w.test(c):
+		return true
+	default:
+		w.set(c)
+		return false
+	}
+}
+
+// inOrder makes credit retirement on one inbound link direction follow
+// arrival order, whatever order the per-stream pipeline shards actually
+// finish in. The router assigns each arriving run a contiguous index range;
+// completions (shard finishes, or downstream acknowledgements via the
+// acker) mark their range done, and only the newly contiguous prefix is
+// retired toward the peer. That is what makes the cumulative count carried
+// by grants a true prefix acknowledgement of the sender's replay ring: the
+// peer's un-popped suffix is exactly the packets not yet fully processed
+// here, so a crash replays everything still at risk and nothing more.
+type inOrder struct {
+	mu   sync.Mutex
+	next uint64 // next arrival index to assign
+	low  uint64 // every index < low is complete
+	done map[uint64]struct{}
+}
+
+// assign reserves n arrival indices and returns the first. Called only by
+// the owning router goroutine, in arrival order.
+func (t *inOrder) assign(n int) uint64 {
+	t.mu.Lock()
+	s := t.next
+	t.next += uint64(n)
+	t.mu.Unlock()
+	return s
+}
+
+// complete marks [start, start+n) finished and returns how many indices
+// became newly contiguous from the bottom — the amount now safe to retire.
+func (t *inOrder) complete(start uint64, n int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := uint64(0); i < uint64(n); i++ {
+		idx := start + i
+		if idx < t.low {
+			continue
+		}
+		if t.done == nil {
+			t.done = map[uint64]struct{}{}
+		}
+		t.done[idx] = struct{}{}
+	}
+	adv := 0
+	for {
+		if _, ok := t.done[t.low]; !ok {
+			break
+		}
+		delete(t.done, t.low)
+		t.low++
+		adv++
+	}
+	return adv
+}
+
+// pendRetire is one inbound run whose credit retirement is deferred until
+// this node's corresponding outputs are acknowledged by its own parent —
+// the level-by-level acknowledgement cascade. The front-end is the base
+// case (it retires at delivery), so by induction an acknowledged run's
+// information has reached the delivery point, and anything less survives
+// in some sender's replay ring.
+type pendRetire struct {
+	src   *transport.FlowLink
+	tr    *inOrder // in-order tracker for src (nil: retire by raw count)
+	start uint64   // first arrival index of the run
+	n     int      // packets in the run
+}
+
+// ringEntry is one flushed-but-unacknowledged data packet in an egress
+// queue's replay ring, with the deferred retirement (if any) to complete
+// when the peer's cumulative acknowledgement covers it.
+type ringEntry struct {
+	p   *packet.Packet
+	ack *pendRetire
+}
+
+// acker turns downstream acknowledgements into upstream credit grants.
+// Completions arrive from link reader goroutines (the egress ring's ack
+// hook), which must never touch the wire themselves — a reader blocked in
+// a send stops draining its own link, and two peers doing that
+// symmetrically deadlock. The acker's own goroutine does the wire work:
+// it completes each run against its in-order tracker, retires whatever
+// became contiguous, and returns the credits immediately as one combined
+// grant per link (full flush rather than threshold batching: a cascade
+// hop's worth of latency already separates these grants from the work
+// they acknowledge, and the sender may be blocked on exactly them).
+type acker struct {
+	m      *Metrics
+	mu     sync.Mutex
+	q      []*pendRetire
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+}
+
+func newAcker(m *Metrics) *acker {
+	a := &acker{
+		m:      m,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+// completed hands the acker a batch of acknowledged runs. Safe from any
+// goroutine; never blocks and never touches the wire.
+func (a *acker) completed(rs []*pendRetire) {
+	a.mu.Lock()
+	a.q = append(a.q, rs...)
+	a.mu.Unlock()
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+}
+
+// halt stops the acker and waits for its goroutine to exit. Completions
+// arriving afterwards are absorbed silently (their credits die with the
+// node, like every other resource of a finished process).
+func (a *acker) halt() {
+	a.once.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+func (a *acker) run() {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.notify:
+		case <-a.stop:
+			return
+		}
+		for {
+			a.mu.Lock()
+			q := a.q
+			a.q = nil
+			a.mu.Unlock()
+			if len(q) == 0 {
+				break
+			}
+			grants := map[*transport.FlowLink]int{}
+			for _, r := range q {
+				if r == nil || r.src == nil {
+					continue
+				}
+				n := r.n
+				if r.tr != nil {
+					n = r.tr.complete(r.start, r.n)
+				}
+				if n > 0 {
+					grants[r.src] += r.src.Retire(n)
+				}
+			}
+			for fl, g := range grants {
+				g += fl.FlushRetired()
+				if g > 0 {
+					a.m.CreditGrants.Add(1)
+					_ = fl.Send(fl.GrantPacket(g))
+				}
+			}
+		}
+	}
+}

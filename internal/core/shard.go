@@ -77,6 +77,21 @@ type shardItem struct {
 	// pipeline has actually finished them, which is what hands the peer
 	// its credits back.
 	src *transport.FlowLink
+	// tr/start are the run's in-order retirement tracker and first arrival
+	// index (exactly-once mode, upstream lane only): retirement toward src
+	// releases only the contiguous arrival prefix, so the cumulative count
+	// in grants stays a true prefix acknowledgement of src's replay ring.
+	tr    *inOrder
+	start uint64
+}
+
+// ret builds the run's deferred-retirement record for the pipeline ops,
+// or nil when there is nothing to retire against.
+func (it *shardItem) ret() *pendRetire {
+	if it.src == nil {
+		return nil
+	}
+	return &pendRetire{src: it.src, tr: it.tr, start: it.start, n: len(it.ps)}
 }
 
 // shardPause is the two-phase quiesce rendezvous: the worker signals
@@ -92,9 +107,14 @@ type shardPause struct {
 // goroutine per stream; each implementation takes the stream's pipeMu
 // around its filter-state access itself (never across a blocking egress
 // fan-out), which is what lets the two lanes share a stream safely.
+// The up-lane ops take the run's deferred-retirement record (nil without
+// flow control) and report whether they CONSUMED it — attached it to an
+// egress packet whose downstream acknowledgement will complete it
+// (exactly-once mode). An unconsumed record is retired by the shard
+// immediately after the call, the pre-exactly-once behavior.
 type shardOps interface {
-	shardUp(ss *streamState, child int, run []*packet.Packet)
-	shardUpRaw(run []*packet.Packet)
+	shardUp(ss *streamState, child int, run []*packet.Packet, ret *pendRetire) bool
+	shardUpRaw(run []*packet.Packet, ret *pendRetire) bool
 	shardDown(ss *streamState, p *packet.Packet)
 	shardDownRaw(p *packet.Packet)
 	shardCloseUp(ss *streamState)
@@ -289,20 +309,20 @@ func (sp *shardPool) tryInline(ss *streamState, backlogged bool, fn func()) bool
 
 // up routes an upstream run: inline when the stream is idle and the
 // router unpressured, else through the stream's shard mailbox.
-func (sp *shardPool) up(ss *streamState, child int, run []*packet.Packet, backlogged bool, src *transport.FlowLink) {
-	if src == nil && sp.tryInline(ss, backlogged, func() { sp.ops.shardUp(ss, child, run) }) {
+func (sp *shardPool) up(ss *streamState, child int, run []*packet.Packet, backlogged bool, src *transport.FlowLink, tr *inOrder, start uint64) {
+	if src == nil && sp.tryInline(ss, backlogged, func() { sp.ops.shardUp(ss, child, run, nil) }) {
 		return
 	}
 	ss.pending.Add(1)
-	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemUp, ss: ss, child: child, ps: run, src: src})
+	sp.dispatch(sp.shardFor(ss.id), shardItem{kind: itemUp, ss: ss, child: child, ps: run, src: src, tr: tr, start: start})
 }
 
 // upRaw routes a pass-through run by stream id alone: the id hashes to the
 // same shard that carried the stream while it existed, so data arriving
 // behind a close keeps its order relative to the close's drain (always
 // dispatched — the close it chases rides the same mailbox).
-func (sp *shardPool) upRaw(id uint32, run []*packet.Packet, src *transport.FlowLink) {
-	sp.dispatch(sp.shardFor(id), shardItem{kind: itemUpRaw, id: id, ps: run, src: src})
+func (sp *shardPool) upRaw(id uint32, run []*packet.Packet, src *transport.FlowLink, tr *inOrder, start uint64) {
+	sp.dispatch(sp.shardFor(id), shardItem{kind: itemUpRaw, id: id, ps: run, src: src, tr: tr, start: start})
 }
 
 // down routes a downstream packet, inline under the same policy as up.
@@ -499,6 +519,21 @@ func (sh *shard) retire(pend map[*transport.FlowLink]struct{}, fl *transport.Flo
 	pend[fl] = struct{}{}
 }
 
+// retireOrdered retires an up-lane run whose deferred-retirement record
+// the ops did not consume (no exactly-once, or the run produced no
+// downstream output): with a tracker, only the newly contiguous arrival
+// prefix is released.
+func (sh *shard) retireOrdered(pend map[*transport.FlowLink]struct{}, it shardItem) {
+	if it.src == nil {
+		return
+	}
+	n := len(it.ps)
+	if it.tr != nil {
+		n = it.tr.complete(it.start, n)
+	}
+	sh.retire(pend, it.src, n)
+}
+
 // flushPend grants back the below-threshold retirements accumulated on
 // every link the lane touched since its last idle point.
 func (sh *shard) flushPend(pend map[*transport.FlowLink]struct{}) {
@@ -518,12 +553,15 @@ func (sh *shard) handleUp(it shardItem) bool {
 	switch it.kind {
 	case itemUp:
 		sh.track(it.ss)
-		sh.pool.ops.shardUp(it.ss, it.child, it.ps)
+		consumed := sh.pool.ops.shardUp(it.ss, it.child, it.ps, it.ret())
 		it.ss.pending.Add(-1)
-		sh.retire(sh.upPend, it.src, len(it.ps))
+		if !consumed {
+			sh.retireOrdered(sh.upPend, it)
+		}
 	case itemUpRaw:
-		sh.pool.ops.shardUpRaw(it.ps)
-		sh.retire(sh.upPend, it.src, len(it.ps))
+		if !sh.pool.ops.shardUpRaw(it.ps, it.ret()) {
+			sh.retireOrdered(sh.upPend, it)
+		}
 	case itemCloseUp:
 		delete(sh.streams, it.ss.id)
 		sh.pool.ops.shardCloseUp(it.ss)

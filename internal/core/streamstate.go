@@ -110,6 +110,12 @@ type streamState struct {
 	// re-register the dead stream in its shard's poll set.
 	closed atomic.Bool
 
+	// Exactly-once per-stream state, guarded by pipeMu like the filters:
+	// dedup holds one duplicate-detection window per packet origin, and
+	// seqCtr stamps this node's fresh transform outputs on the stream.
+	dedup  map[Rank]*seqWin
+	seqCtr uint64
+
 	// routes is the current immutable routing snapshot, read lock-free by
 	// user-goroutine multicasts and pipeline shards; writers (stream
 	// creation, recovery adoption under quiesce, dynamic attach on the
@@ -276,3 +282,46 @@ func (ss *streamState) drain() [][]*packet.Packet {
 
 // deadline reports the synchronizer's next timer need.
 func (ss *streamState) deadline() time.Time { return ss.sync.Deadline() }
+
+// dropDups filters replay duplicates out of an inbound run by origin
+// sequence (exactly-once mode; callers hold pipeMu). The filtered slice is
+// freshly allocated, never a compaction of run: on the in-process fabric
+// run shares its backing array with the slice the sender passed to
+// SendBatch, which the sender still reads after the send to append the
+// sent prefix to its replay ring. When nothing is dropped, run is returned
+// as-is so the common case stays zero-copy. The caller's retirement keeps
+// counting the original run length either way: the peer spent credits and
+// ring slots on the duplicate copies too.
+func (ss *streamState) dropDups(run []*packet.Packet, m *Metrics) []*packet.Packet {
+	kept := run
+	alloc := false
+	for i, p := range run {
+		if p.Seq != 0 && ss.seenSeq(p) {
+			m.DupsDropped.Add(1)
+			if !alloc {
+				kept = append(make([]*packet.Packet, 0, len(run)-1), run[:i]...)
+				alloc = true
+			}
+			continue
+		}
+		if alloc {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// seenSeq records p's origin sequence in the stream's dedup window and
+// reports whether it was already delivered here. Callers hold pipeMu.
+func (ss *streamState) seenSeq(p *packet.Packet) bool {
+	o := packet.SeqOrigin(p.Seq)
+	w := ss.dedup[o]
+	if w == nil {
+		if ss.dedup == nil {
+			ss.dedup = map[Rank]*seqWin{}
+		}
+		w = &seqWin{}
+		ss.dedup[o] = w
+	}
+	return w.seen(packet.SeqCounter(p.Seq))
+}

@@ -1,0 +1,138 @@
+package chaos
+
+// Seeded chaos schedules: a deterministic kill plan generated from a
+// seed, executed against a running overlay, and — when a run violates the
+// delivery invariant — shrunk to a minimal reproducing schedule by greedy
+// event deletion.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/topology"
+)
+
+// KillEvent crashes one rank at an offset from the schedule's start.
+type KillEvent struct {
+	Victim core.Rank
+	After  time.Duration
+}
+
+// Schedule is an ordered kill plan. Events with close offsets produce
+// overlapping failures (a second death while the first adoption is in
+// flight, or a parent and child dead at once).
+type Schedule struct {
+	Seed  int64
+	Kills []KillEvent
+}
+
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Kills))
+	for i, k := range s.Kills {
+		parts[i] = fmt.Sprintf("kill %d@%v", k.Victim, k.After)
+	}
+	return fmt.Sprintf("seed %d: [%s]", s.Seed, strings.Join(parts, ", "))
+}
+
+// GenSchedule derives a kill plan from seed: one to three victims among
+// the tree's non-root internal processes. Half the seeds deliberately
+// include a parent-and-child pair — the overlapping-failure shape that
+// exercises cascaded adoption and double replay.
+func GenSchedule(tree *topology.Tree, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	internals := tree.InternalNodes()
+	if len(internals) == 0 {
+		return Schedule{Seed: seed}
+	}
+	picked := map[core.Rank]bool{}
+	var kills []KillEvent
+	add := func(r core.Rank) {
+		if picked[r] {
+			return
+		}
+		picked[r] = true
+		kills = append(kills, KillEvent{Victim: r, After: time.Duration(rng.Intn(60)) * time.Millisecond})
+	}
+	if rng.Intn(2) == 0 {
+		// Overlapping parent+child pair when the tree is deep enough.
+		for _, r := range rng.Perm(len(internals)) {
+			v := internals[r]
+			if p := tree.Parent(v); p != 0 && !tree.Node(p).IsLeaf() {
+				add(v)
+				add(p)
+				break
+			}
+		}
+	}
+	n := 1 + rng.Intn(3)
+	for _, r := range rng.Perm(len(internals)) {
+		if len(kills) >= n {
+			break
+		}
+		add(internals[r])
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].After < kills[j].After })
+	return Schedule{Seed: seed, Kills: kills}
+}
+
+// execute runs the schedule: kill each victim at its offset, then recover
+// every victim shallowest-first (an orphaned subtree's own failure is
+// only recoverable after its parent's), retrying while adoptions race.
+func (s Schedule) execute(nw *core.Network, mgr *recovery.Manager, tree *topology.Tree) error {
+	start := time.Now()
+	for _, k := range s.Kills {
+		if wait := k.After - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := nw.Kill(k.Victim); err != nil {
+			return fmt.Errorf("chaos: kill %d: %w", k.Victim, err)
+		}
+	}
+	victims := make([]core.Rank, len(s.Kills))
+	for i, k := range s.Kills {
+		victims[i] = k.Victim
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		return tree.Node(victims[i]).Level < tree.Node(victims[j]).Level
+	})
+	for _, v := range victims {
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			if _, err = mgr.Recover(v); err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("chaos: recover %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// Shrink minimizes a failing schedule by greedy deletion: drop one kill
+// event at a time, re-run, and keep the deletion whenever the invariant
+// still breaks. fails must re-execute the harness with the given
+// schedule and report whether it still violates the invariant.
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(s.Kills); i++ {
+			cand := Schedule{Seed: s.Seed, Kills: append(append([]KillEvent{}, s.Kills[:i]...), s.Kills[i+1:]...)}
+			if len(cand.Kills) == 0 {
+				continue
+			}
+			if fails(cand) {
+				s = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return s
+}

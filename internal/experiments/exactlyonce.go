@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eqclass/chaos"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// ExactlyOnceConfig parameterizes the exactly-once recovery ablation: the
+// same seeded kill schedules run twice over the delivery-invariant chaos
+// harness — once with sender replay + dedup (core.Config.ExactlyOnce) and
+// once with plain lossy adoption — and the rows put the delivery outcome
+// and the price (replay traffic, ring memory, throughput) side by side.
+type ExactlyOnceConfig struct {
+	// Spec is the overlay shape under chaos.
+	Spec string
+	// PerBE is how many uniquely-tagged ids each back-end injects.
+	PerBE int
+	// Window is the credit window, which also prices the replay ring.
+	Window int
+	// Transports are the link substrates under test; empty means chan
+	// and TCP.
+	Transports []core.TransportKind
+	// Seeds generate the kill schedules; each seed runs in BOTH modes so
+	// the ablation compares identical failure sequences.
+	Seeds []int64
+}
+
+// DefaultExactlyOnceConfig is laptop-runnable (~20 chaos runs).
+func DefaultExactlyOnceConfig() ExactlyOnceConfig {
+	return ExactlyOnceConfig{
+		Spec:       "kary:2^3",
+		PerBE:      80,
+		Window:     8,
+		Transports: []core.TransportKind{core.ChanTransport, core.TCPTransport},
+		Seeds:      []int64{0, 1, 2, 3, 4},
+	}
+}
+
+// ExactlyOnceRow aggregates one (transport, mode) cell of the ablation
+// over every seeded schedule.
+type ExactlyOnceRow struct {
+	Transport string
+	// ExactlyOnce distinguishes the recovery mode: true is the full
+	// replay+dedup protocol, false the lossy-adoption ablation.
+	ExactlyOnce bool
+	// Runs is the number of seeded schedules aggregated; Kills the total
+	// injected failures across them.
+	Runs  int
+	Kills int
+	// Sent/Delivered/Lost/Duplicated total the delivery multisets.
+	Sent       int
+	Delivered  int
+	Lost       int
+	Duplicated int
+	// InvariantHeld is true when every run delivered exactly the sent
+	// multiset — the exactly-once acceptance bar.
+	InvariantHeld bool
+	// Rate is delivered ids per second of chaos wall time.
+	Rate float64
+	// PacketsReplayed, DupsDropped, and RingHighWater price the protocol;
+	// the ring high water may never exceed Window.
+	PacketsReplayed int64
+	DupsDropped     int64
+	RingHighWater   int64
+}
+
+// RunExactlyOnce executes the ablation: every seed's schedule runs in both
+// modes on every transport.
+func RunExactlyOnce(cfg ExactlyOnceConfig) ([]ExactlyOnceRow, error) {
+	if cfg.Spec == "" {
+		cfg = DefaultExactlyOnceConfig()
+	}
+	tree, err := topology.ParseSpec(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	transports := cfg.Transports
+	if len(transports) == 0 {
+		transports = []core.TransportKind{core.ChanTransport, core.TCPTransport}
+	}
+	var rows []ExactlyOnceRow
+	for _, kind := range transports {
+		for _, exactly := range []bool{true, false} {
+			row := ExactlyOnceRow{
+				Transport:     transportName(kind),
+				ExactlyOnce:   exactly,
+				InvariantHeld: true,
+			}
+			var elapsed time.Duration
+			for _, seed := range cfg.Seeds {
+				sched := chaos.GenSchedule(tree, seed)
+				start := time.Now()
+				res, err := chaos.RunChaos(chaos.ChaosConfig{
+					Spec:        cfg.Spec,
+					Transport:   kind,
+					PerBE:       cfg.PerBE,
+					Window:      cfg.Window,
+					ExactlyOnce: exactly,
+					Schedule:    sched,
+					// The lossy arm never reaches the expected count; the
+					// shortfall IS its result, so stop once deliveries dry up.
+					StallGrace: time.Second,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("exactlyonce %s seed %d: %w", row.Transport, seed, err)
+				}
+				elapsed += time.Since(start)
+				row.Runs++
+				row.Kills += len(sched.Kills)
+				row.Sent += res.Sent
+				row.Delivered += res.Delivered
+				row.Lost += len(res.Lost)
+				row.Duplicated += len(res.Duplicated)
+				row.InvariantHeld = row.InvariantHeld && res.Ok()
+				row.PacketsReplayed += res.PacketsReplayed
+				row.DupsDropped += res.DupsDropped
+				if res.ReplayRingHighWater > row.RingHighWater {
+					row.RingHighWater = res.ReplayRingHighWater
+				}
+			}
+			if s := elapsed.Seconds(); s > 0 {
+				row.Rate = float64(row.Delivered) / s
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ExactlyOnceTable renders the ablation.
+func ExactlyOnceTable(cfg ExactlyOnceConfig, rows []ExactlyOnceRow) string {
+	if cfg.Spec == "" {
+		cfg = DefaultExactlyOnceConfig()
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("ABLATE-EXACTLYONCE — delivery invariant under seeded kill schedules, %s, window %d (mode lossy = replay/dedup off)",
+			cfg.Spec, cfg.Window),
+		"transport", "mode", "runs", "kills", "sent", "delivered", "lost", "dup", "ids/s", "replayed", "ring-hw")
+	for _, r := range rows {
+		mode := "exactly-once"
+		if !r.ExactlyOnce {
+			mode = "lossy"
+		}
+		tb.AddRow(r.Transport, mode, r.Runs, r.Kills, r.Sent, r.Delivered, r.Lost, r.Duplicated,
+			r.Rate, r.PacketsReplayed, r.RingHighWater)
+	}
+	return tb.String()
+}

@@ -11,13 +11,21 @@ package packet
 //
 // The encoding is deliberately compact: a grant is a header-only packet
 // (no format string, no payload) whose StreamID field carries the credit
-// count, so a grant costs the minimal 17-byte wire header and zero payload
-// encode/decode work on the hot reverse path.
+// count and whose Seq field carries the receiver's cumulative acknowledged
+// total — the number of data packets it has retired on the link direction
+// since the link was established. A grant therefore doubles as the
+// acknowledgement that retires the sender's replay ring (DESIGN.md §10):
+// no new packet class, and a grant still costs only the 25-byte wire
+// header with zero payload encode/decode work on the hot reverse path.
+// The cumulative total makes grants self-describing: a sender recovering
+// from a missed hook or an out-of-order absorb can resynchronize its ring
+// against the receiver's count rather than trusting per-grant deltas.
 
-// NewCreditGrant builds a credit-grant packet returning n send credits.
-// n must be positive; the count travels in the header's StreamID field.
-func NewCreditGrant(n uint32) *Packet {
-	return &Packet{Tag: TagCredit, StreamID: n}
+// NewCreditGrant builds a credit-grant packet returning n send credits and
+// acknowledging acked cumulative data packets. n must be positive; the
+// count travels in the header's StreamID field, the cumulative ack in Seq.
+func NewCreditGrant(n uint32, acked uint64) *Packet {
+	return &Packet{Tag: TagCredit, StreamID: n, Seq: acked}
 }
 
 // CreditGrantValue reports whether p is a credit grant and, if so, how many
@@ -27,4 +35,14 @@ func CreditGrantValue(p *Packet) (uint32, bool) {
 		return 0, false
 	}
 	return p.StreamID, true
+}
+
+// CreditGrantAck returns the cumulative acknowledged total carried by a
+// credit grant: how many data packets the receiver has retired on the link
+// direction in its lifetime. Zero on pre-ack grants and non-grant packets.
+func CreditGrantAck(p *Packet) uint64 {
+	if p == nil || p.Tag != TagCredit {
+		return 0
+	}
+	return p.Seq
 }

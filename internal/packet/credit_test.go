@@ -5,14 +5,25 @@ import (
 	"testing"
 )
 
-// TestCreditGrantRoundTrip: a grant survives the wire, keeps its count, and
-// costs exactly the minimal header — the compactness the reverse path
-// depends on.
+// TestCreditGrantRoundTrip: a grant survives the wire, keeps its count and
+// cumulative ack, and costs exactly the minimal header — the compactness
+// the reverse path depends on.
 func TestCreditGrantRoundTrip(t *testing.T) {
-	for _, n := range []uint32{1, 7, 1 << 20, ^uint32(0)} {
-		g := NewCreditGrant(n)
-		if v, ok := CreditGrantValue(g); !ok || v != n {
-			t.Fatalf("CreditGrantValue(NewCreditGrant(%d)) = %d, %v", n, v, ok)
+	for _, tc := range []struct {
+		n    uint32
+		cum  uint64
+	}{
+		{1, 0},
+		{7, 7},
+		{1 << 20, 1 << 42},
+		{^uint32(0), ^uint64(0)},
+	} {
+		g := NewCreditGrant(tc.n, tc.cum)
+		if v, ok := CreditGrantValue(g); !ok || v != tc.n {
+			t.Fatalf("CreditGrantValue(NewCreditGrant(%d, %d)) = %d, %v", tc.n, tc.cum, v, ok)
+		}
+		if a := CreditGrantAck(g); a != tc.cum {
+			t.Fatalf("CreditGrantAck = %d, want %d", a, tc.cum)
 		}
 		enc := g.Encode()
 		if len(enc) != minEncodedPacket {
@@ -22,8 +33,11 @@ func TestCreditGrantRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decoding grant: %v", err)
 		}
-		if v, ok := CreditGrantValue(dec); !ok || v != n {
-			t.Errorf("decoded grant carries %d, %v; want %d, true", v, ok, n)
+		if v, ok := CreditGrantValue(dec); !ok || v != tc.n {
+			t.Errorf("decoded grant carries %d, %v; want %d, true", v, ok, tc.n)
+		}
+		if a := CreditGrantAck(dec); a != tc.cum {
+			t.Errorf("decoded grant ack = %d, want %d", a, tc.cum)
 		}
 		if !bytes.Equal(dec.Encode(), enc) {
 			t.Error("grant encode not stable across a decode cycle")
@@ -32,16 +46,21 @@ func TestCreditGrantRoundTrip(t *testing.T) {
 }
 
 // TestCreditGrantValueRejectsOthers: ordinary control and data packets are
-// never mistaken for grants (the tag, not the shape, is the discriminator).
+// never mistaken for grants (the tag, not the shape, is the discriminator),
+// and their ack accessor reads zero rather than misreading a data Seq.
 func TestCreditGrantValueRejectsOthers(t *testing.T) {
+	stamped := MustNew(TagFirstApplication, 3, 0, "%d", int64(1)).WithSeq(MakeSeq(3, 9))
 	for _, p := range []*Packet{
 		nil,
 		MustNew(TagControl, 3, 0, "%d", int64(1)),
-		MustNew(TagFirstApplication, 3, 0, "%d", int64(1)),
+		stamped,
 		MustNew(TagAck, 9, 0, ""),
 	} {
 		if v, ok := CreditGrantValue(p); ok {
 			t.Errorf("CreditGrantValue(%v) = %d, true; want false", p, v)
+		}
+		if a := CreditGrantAck(p); a != 0 {
+			t.Errorf("CreditGrantAck(%v) = %d, want 0 for non-grants", p, a)
 		}
 	}
 }
@@ -51,9 +70,9 @@ func TestCreditGrantValueRejectsOthers(t *testing.T) {
 // frame stream.
 func TestCreditGrantInFrame(t *testing.T) {
 	ps := []*Packet{
-		NewCreditGrant(16),
+		NewCreditGrant(16, 160),
 		MustNew(TagFirstApplication, 2, 1, "%d", int64(42)),
-		NewCreditGrant(3),
+		NewCreditGrant(3, 163),
 	}
 	dec, err := DecodeFrame(EncodeFrame(ps))
 	if err != nil {
@@ -65,10 +84,67 @@ func TestCreditGrantInFrame(t *testing.T) {
 	if v, ok := CreditGrantValue(dec[0]); !ok || v != 16 {
 		t.Errorf("first packet: grant %d, %v; want 16, true", v, ok)
 	}
+	if a := CreditGrantAck(dec[0]); a != 160 {
+		t.Errorf("first packet ack %d, want 160", a)
+	}
 	if _, ok := CreditGrantValue(dec[1]); ok {
 		t.Error("data packet mistaken for a grant")
 	}
 	if v, ok := CreditGrantValue(dec[2]); !ok || v != 3 {
 		t.Errorf("third packet: grant %d, %v; want 3, true", v, ok)
+	}
+	if a := CreditGrantAck(dec[2]); a != 163 {
+		t.Errorf("third packet ack %d, want 163", a)
+	}
+}
+
+// TestSeqPackRoundTrip: MakeSeq/SeqOrigin/SeqCounter are exact inverses
+// across the rank and counter ranges the overlay uses, and counter zero
+// stays reserved for "unstamped".
+func TestSeqPackRoundTrip(t *testing.T) {
+	for _, origin := range []Rank{0, 1, 127, 1<<24 - 1} {
+		for _, counter := range []uint64{1, 2, 1 << 20, 1<<40 - 1} {
+			s := MakeSeq(origin, counter)
+			if got := SeqOrigin(s); got != origin {
+				t.Fatalf("SeqOrigin(MakeSeq(%d, %d)) = %d", origin, counter, got)
+			}
+			if got := SeqCounter(s); got != counter {
+				t.Fatalf("SeqCounter(MakeSeq(%d, %d)) = %d", origin, counter, got)
+			}
+		}
+	}
+	if MakeSeq(0, 1) == 0 {
+		t.Fatal("a stamped seq must never collide with the unstamped zero")
+	}
+}
+
+// TestSeqSurvivesWireAndRestamp: the Seq header field round-trips the wire
+// and is preserved by the forwarding restamps (WithStream/WithSrc/
+// WithStreamSrc) — that survival is what makes receiver-side dedup of
+// replayed packets possible across hops that re-stamp SrcRank.
+func TestSeqSurvivesWireAndRestamp(t *testing.T) {
+	p := MustNew(TagFirstApplication, 5, 2, "%s", "payload").WithSeq(MakeSeq(2, 77))
+	dec, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seq != p.Seq {
+		t.Fatalf("Seq lost on the wire: %#x vs %#x", dec.Seq, p.Seq)
+	}
+	hop := p.WithStreamSrc(9, 4)
+	if hop.Seq != p.Seq {
+		t.Fatalf("WithStreamSrc dropped Seq: %#x vs %#x", hop.Seq, p.Seq)
+	}
+	if hop.StreamID != 9 || hop.SrcRank != 4 {
+		t.Fatalf("restamp failed: %v", hop)
+	}
+	if q := p.WithSeq(p.Seq); q != p {
+		t.Error("identical WithSeq should share the packet")
+	}
+	if q := p.WithStream(p.StreamID); q.Seq != p.Seq {
+		t.Error("WithStream dropped Seq")
+	}
+	if q := p.WithSrc(11); q.Seq != p.Seq {
+		t.Error("WithSrc dropped Seq")
 	}
 }

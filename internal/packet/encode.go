@@ -12,10 +12,11 @@ import (
 // Wire format (all integers little-endian):
 //
 //	magic     uint16  0x7B0E ("TBOE")
-//	version   uint8   1
+//	version   uint8   2
 //	tag       int32
 //	streamID  uint32
 //	srcRank   int32
+//	seq       uint64  (origin-stamped delivery sequence; ack count on grants)
 //	fmtLen    uint16
 //	format    fmtLen bytes
 //	payload   per-directive encoding (see below)
@@ -29,7 +30,7 @@ import (
 //	%a*  uint32 element count + repeated element encodings
 const (
 	wireMagic   uint16 = 0x7B0E
-	wireVersion uint8  = 1
+	wireVersion uint8  = 2
 )
 
 // MaxWireSize is the largest encoded packet Decode will accept, a defence
@@ -73,7 +74,7 @@ func (p *Packet) EncodedSize() int {
 	if b := p.wire.Load(); b != nil {
 		return len(*b)
 	}
-	n := 2 + 1 + 4 + 4 + 4 + 2 + len(p.Format)
+	n := 2 + 1 + 4 + 4 + 4 + 8 + 2 + len(p.Format)
 	for i, d := range p.dirs {
 		switch d {
 		case DirByte:
@@ -110,6 +111,7 @@ func (p *Packet) Encode() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Tag))
 	buf = binary.LittleEndian.AppendUint32(buf, p.StreamID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.SrcRank))
+	buf = binary.LittleEndian.AppendUint64(buf, p.Seq)
 	if len(p.Format) > math.MaxUint16 {
 		panic("packet: format string too long")
 	}
@@ -261,6 +263,10 @@ func Decode(b []byte) (*Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	seq, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
 	fmtLen, err := d.u16()
 	if err != nil {
 		return nil, err
@@ -370,6 +376,7 @@ func Decode(b []byte) (*Packet, error) {
 		Tag:      int32(tag),
 		StreamID: streamID,
 		SrcRank:  Rank(int32(src)),
+		Seq:      seq,
 		Format:   format,
 		dirs:     dirs,
 		values:   values,

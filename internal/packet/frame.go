@@ -25,7 +25,7 @@ const MaxFramePackets = 1 << 20
 
 // minEncodedPacket is the smallest Encode output: the fixed header with an
 // empty format string and no payload.
-const minEncodedPacket = 2 + 1 + 4 + 4 + 4 + 2
+const minEncodedPacket = 2 + 1 + 4 + 4 + 4 + 8 + 2
 
 // MaxFrameBody is the largest frame body the decoder accepts: senders
 // bound batches to MaxWireSize payload bytes (flushing early when a batch

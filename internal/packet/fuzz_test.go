@@ -14,8 +14,13 @@ func FuzzDecode(f *testing.F) {
 		MustNew(101, 7, 3, "%d %f %s", int64(-1), 2.5, "x"),
 		MustNew(102, 7, 3, "%ad %af %as %ac",
 			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
-		NewCreditGrant(32),
-		NewCreditGrant(^uint32(0)),
+		NewCreditGrant(32, 0),
+		NewCreditGrant(^uint32(0), ^uint64(0)),
+		// Extended grant encoding: credits in StreamID, cumulative ack in
+		// the Seq header field (exactly-once recovery) — plus a seq-stamped
+		// data packet, so mutations hit both uses of the field.
+		NewCreditGrant(4, 1<<40|12345),
+		MustNew(103, 9, 2, "%s", "id-7").WithSeq(MakeSeq(2, 7)),
 		// Session control ops, mirroring core's opOpenSession (op,
 		// namespace, tenant, priority, budget) and opCloseSession (op,
 		// namespace) wire shapes — the decoder must survive mutations of
@@ -31,6 +36,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x0E, 0x7B, 1})
+	f.Add([]byte{0x0E, 0x7B, 2})
+	// A version-1 header (no seq field): the decoder must reject the stale
+	// version cleanly, not misparse the format length as seq bytes.
+	f.Add([]byte{0x0E, 0x7B, 1, 100, 0, 0, 0, 7, 0, 0, 0, 3, 0, 0, 0, 0, 0})
+	// A valid packet truncated mid-seq: rejected, never panics.
+	trunc := MustNew(103, 9, 2, "").Encode()
+	f.Add(trunc[:len(trunc)-10])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Decode(data)
 		if err != nil {
@@ -41,7 +53,7 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of accepted packet failed: %v", err)
 		}
-		if q.Tag != p.Tag || q.StreamID != p.StreamID || q.SrcRank != p.SrcRank || q.Format != p.Format {
+		if q.Tag != p.Tag || q.StreamID != p.StreamID || q.SrcRank != p.SrcRank || q.Seq != p.Seq || q.Format != p.Format {
 			t.Fatalf("headers changed across re-encode: %v vs %v", p, q)
 		}
 		if !bytes.Equal(re, q.Encode()) {
@@ -62,7 +74,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		single,
 		MustNew(102, 7, 3, "%ad %af %as %ac",
 			[]int64{1, 2}, []float64{3}, []string{"a", "b"}, []byte{9}),
-		NewCreditGrant(64),
+		NewCreditGrant(64, 640),
 	}
 	f.Add(EncodeFrame(nil))
 	f.Add(EncodeFrame(batch[:1]))

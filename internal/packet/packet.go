@@ -169,6 +169,13 @@ type Packet struct {
 	StreamID uint32
 	// SrcRank is the rank of the node that created the packet.
 	SrcRank Rank
+	// Seq is the packet's origin-stamped delivery sequence number, zero
+	// when unstamped. Exactly-once delivery packs the originating rank and
+	// a per-(origin,stream) counter into it (see MakeSeq); unlike SrcRank,
+	// which every hop re-stamps, Seq survives forwarding so receivers can
+	// de-duplicate replayed packets. Credit grants reuse the field to carry
+	// the cumulative acknowledgement count (see credit.go).
+	Seq uint64
 	// Format is the format string describing Values.
 	Format string
 
@@ -406,10 +413,39 @@ func (p *Packet) restamp() *Packet {
 		Tag:      p.Tag,
 		StreamID: p.StreamID,
 		SrcRank:  p.SrcRank,
+		Seq:      p.Seq,
 		Format:   p.Format,
 		dirs:     p.dirs,
 		values:   p.values,
 	}
+}
+
+// seqCounterBits splits Seq: the low 40 bits hold the per-(origin,stream)
+// counter, the high 24 bits the originating rank. 2^24 ranks and 2^40
+// packets per origin per stream outlast any overlay we build.
+const seqCounterBits = 40
+
+// MakeSeq packs an origin rank and a 1-based counter into a Seq value.
+// Counter zero is reserved: a zero Seq means "unstamped".
+func MakeSeq(origin Rank, counter uint64) uint64 {
+	return uint64(uint32(origin))<<seqCounterBits | counter&(1<<seqCounterBits-1)
+}
+
+// SeqOrigin returns the originating rank packed into a Seq value.
+func SeqOrigin(seq uint64) Rank { return Rank(seq >> seqCounterBits) }
+
+// SeqCounter returns the per-(origin,stream) counter packed into a Seq.
+func SeqCounter(seq uint64) uint64 { return seq & (1<<seqCounterBits - 1) }
+
+// WithSeq returns a copy of the packet stamped with the given sequence
+// number. The payload is shared, not copied.
+func (p *Packet) WithSeq(seq uint64) *Packet {
+	if p.Seq == seq {
+		return p
+	}
+	q := p.restamp()
+	q.Seq = seq
+	return q
 }
 
 // WithStream returns a copy of the packet re-addressed to the given stream.

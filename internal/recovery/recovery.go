@@ -66,6 +66,12 @@ type Config struct {
 	LeafTimeout time.Duration
 	// Poll is the detector's check interval; default Timeout/4.
 	Poll time.Duration
+	// CheckpointPeriod, when positive, makes the manager periodically ask
+	// every internal node to checkpoint its composable filter state toward
+	// its potential adopters (core.Network.CheckpointNow). An adoption then
+	// folds the failed node's own last checkpoint into the composition,
+	// recovering state that was in flight above the orphans when it died.
+	CheckpointPeriod time.Duration
 	// OnRecovery, if non-nil, is invoked (from the detector goroutine)
 	// after each completed recovery.
 	OnRecovery func(Report)
@@ -182,7 +188,28 @@ func (m *Manager) Start() error {
 	}
 	m.mu.Unlock()
 	go m.watch(stop, done)
+	if m.cfg.CheckpointPeriod > 0 {
+		go m.checkpointLoop(stop)
+	}
 	return nil
+}
+
+// checkpointLoop periodically drives adopter checkpoints until the
+// detector is stopped. Checkpoints are serialized against recoveries so a
+// node is never asked to snapshot mid-adoption.
+func (m *Manager) checkpointLoop(stop <-chan struct{}) {
+	t := time.NewTicker(m.cfg.CheckpointPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.runMu.Lock()
+			m.nw.CheckpointNow()
+			m.runMu.Unlock()
+		}
+	}
 }
 
 // Stop halts the detector (manual Recover keeps working).

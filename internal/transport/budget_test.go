@@ -159,7 +159,7 @@ func TestBudgetedGrantsOverWire(t *testing.T) {
 			t.Fatal(err)
 		}
 		if g := peer.Retire(1); g > 0 {
-			if err := peer.Send(packet.NewCreditGrant(uint32(g))); err != nil {
+			if err := peer.Send(packet.NewCreditGrant(uint32(g), 0)); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -48,6 +48,14 @@ type FlowLink struct {
 	// refillHook, when set, is invoked after inbound grants refill the
 	// pool — the egress queue's stall/resume wakeup.
 	refillHook atomic.Pointer[func()]
+	// ackHook, when set, is invoked after inbound grants with the grant's
+	// credit count and cumulative acknowledged total — the egress replay
+	// ring's retirement signal (exactly-once delivery). It runs on the
+	// link's reader goroutine and must not touch the wire.
+	ackHook atomic.Pointer[func(n int, cum uint64)]
+	// retiredTotal counts every receiver-side retirement on this link for
+	// the link's lifetime; outgoing grants carry it as the cumulative ack.
+	retiredTotal atomic.Uint64
 	// dead releases blocked Acquire callers once the link is known
 	// finished (closed, dropped, or replaced after a failure): credits
 	// from a dead peer are never coming, so waiting is pointless — the
@@ -225,8 +233,18 @@ func (f *FlowLink) Refund(n int) {
 // The n oldest budget stamps are released first: the peer retiring n
 // packets is what frees the tenants those credits were charged to.
 func (f *FlowLink) Refill(n int) {
+	f.refillAck(n, 0)
+}
+
+// refillAck is Refill plus the grant's cumulative acknowledged total, fed
+// to the ack hook so an egress replay ring can retire the acked prefix.
+// cum 0 means "unknown" (legacy grants); the hook falls back to the delta.
+func (f *FlowLink) refillAck(n int, cum uint64) {
 	f.releaseBudgets(n)
 	f.Refund(n)
+	if hook := f.ackHook.Load(); hook != nil {
+		(*hook)(n, cum)
+	}
 	if hook := f.refillHook.Load(); hook != nil {
 		(*hook)()
 	}
@@ -241,11 +259,33 @@ func (f *FlowLink) SetRefillHook(fn func()) {
 	f.refillHook.Store(&fn)
 }
 
+// SetAckHook registers fn to run after every inbound grant with the
+// grant's credit count and cumulative acknowledged total. Like the refill
+// hook it runs on the link's reader goroutine: it must be quick and must
+// never touch the wire.
+func (f *FlowLink) SetAckHook(fn func(n int, cum uint64)) {
+	if fn == nil {
+		f.ackHook.Store(nil)
+		return
+	}
+	f.ackHook.Store(&fn)
+}
+
+// GrantPacket builds the credit-grant packet returning n credits to the
+// peer, stamped with this side's cumulative retired total as the ack.
+// The snapshot is taken after the retirements it covers were recorded
+// (Retire/FlushRetired add to the total before the claim is returned), so
+// the cumulative count never undercounts the credits it accompanies.
+func (f *FlowLink) GrantPacket(n int) *packet.Packet {
+	return packet.NewCreditGrant(uint32(n), f.retiredTotal.Load())
+}
+
 // Retire records that the receiving pipeline finished n inbound data
 // packets. When accumulated retirements cross the grant threshold the
 // whole accumulation is claimed and returned for the caller to grant back
 // to the peer; otherwise 0.
 func (f *FlowLink) Retire(n int) int {
+	f.retiredTotal.Add(uint64(n))
 	f.retired.Add(int64(n))
 	for {
 		cur := f.retired.Load()
@@ -277,13 +317,27 @@ func (f *FlowLink) FlushRetired() int {
 	}
 }
 
-// absorb refills the pool from any grants in ps and filters them out of the
-// slice in place.
+// absorb refills the pool from any grants in ps and filters them out. The
+// filtered slice is freshly allocated, never a compaction of ps: on the
+// in-process fabric ps shares its backing array with the slice the sender
+// passed to SendBatch, which the sender may still read after the send (the
+// exactly-once path appends the sent prefix to its replay ring). When ps
+// carries no grants it is returned as-is, so the common case stays
+// zero-copy.
 func (f *FlowLink) absorb(ps []*packet.Packet) []*packet.Packet {
-	kept := ps[:0]
+	grants := 0
+	for _, p := range ps {
+		if _, ok := packet.CreditGrantValue(p); ok {
+			grants++
+		}
+	}
+	if grants == 0 {
+		return ps
+	}
+	kept := make([]*packet.Packet, 0, len(ps)-grants)
 	for _, p := range ps {
 		if n, ok := packet.CreditGrantValue(p); ok {
-			f.Refill(int(n))
+			f.refillAck(int(n), packet.CreditGrantAck(p))
 			continue
 		}
 		kept = append(kept, p)
@@ -300,7 +354,7 @@ func (f *FlowLink) Recv() (*packet.Packet, error) {
 			return nil, err
 		}
 		if n, ok := packet.CreditGrantValue(p); ok {
-			f.Refill(int(n))
+			f.refillAck(int(n), packet.CreditGrantAck(p))
 			continue
 		}
 		return p, nil

@@ -123,11 +123,11 @@ func TestFlowLinkAbsorbsGrants(t *testing.T) {
 
 	// A frame of only grants, then a mixed frame: RecvBatch must skip the
 	// first entirely and filter the second.
-	if err := SendBatch(b, []*packet.Packet{packet.NewCreditGrant(2)}); err != nil {
+	if err := SendBatch(b, []*packet.Packet{packet.NewCreditGrant(2, 0)}); err != nil {
 		t.Fatal(err)
 	}
 	data := packet.MustNew(packet.TagFirstApplication, 9, 2, "%d", int64(5))
-	if err := SendBatch(b, []*packet.Packet{packet.NewCreditGrant(1), data}); err != nil {
+	if err := SendBatch(b, []*packet.Packet{packet.NewCreditGrant(1, 0), data}); err != nil {
 		t.Fatal(err)
 	}
 	ps, err := f.RecvBatch()
@@ -146,7 +146,7 @@ func TestFlowLinkAbsorbsGrants(t *testing.T) {
 	}
 
 	// Per-packet path: grant then data.
-	if err := b.Send(packet.NewCreditGrant(2)); err != nil {
+	if err := b.Send(packet.NewCreditGrant(2, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Send(data); err != nil {
