@@ -184,6 +184,8 @@ func (e *schedEpoch) pick() *schedStream {
 // selected stays queued exactly where it was). Returns the batch, its
 // encoded byte total, and how many data packets it carries (their
 // occupancy slots are released by the flusher once the wire accepts them).
+//
+//tbon:allow creditpair credits acquired here transfer to the returned batch: the flusher either sends it or restores it and refunds unsent data credits (failedFlush)
 func (s *egressSched) take(fl *transport.FlowLink, bypass bool) (ps []*packet.Packet, total, nData int, stalled bool) {
 	needCredit := func() bool { return fl != nil && !bypass }
 	// Order-free control first — even ahead of the retained remainder: a

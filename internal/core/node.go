@@ -355,7 +355,12 @@ func orderFreeControl(p *packet.Packet) bool {
 // splitOrderFree diverts order-free control packets in ps to the control
 // lane (dropping them if it is full — they are periodic and lossy-safe)
 // and returns the remaining packets in order. The common all-data frame
-// costs one scan and no allocation.
+// costs one scan and no allocation. When a split is needed the kept
+// packets go into a FRESH slice: ps came off the wire via RecvBatch, and
+// on the in-process fabric its backing array is still the sender's
+// SendBatch slice, which an exactly-once sender re-reads after the send to
+// build its replay ring — compacting in place (ps[:0]) would corrupt the
+// ring under the sender's feet (the PR 7 absorb/dropDups race class).
 func splitOrderFree(ps []*packet.Packet, ctrl chan<- *packet.Packet) []*packet.Packet {
 	split := false
 	for _, p := range ps {
@@ -367,7 +372,7 @@ func splitOrderFree(ps []*packet.Packet, ctrl chan<- *packet.Packet) []*packet.P
 	if !split {
 		return ps
 	}
-	kept := ps[:0]
+	kept := make([]*packet.Packet, 0, len(ps)-1)
 	for _, p := range ps {
 		if orderFreeControl(p) {
 			select {

@@ -1,0 +1,229 @@
+// Package batchalias flags in-place mutation or compaction of packet
+// batches obtained from the receive path — the exact bug class behind the
+// two PR 7 receive-path races (FlowLink.absorb and streamState.dropDups
+// compacting slices whose backing arrays they shared with the sender).
+//
+// The contract (DESIGN.md §11): a []*packet.Packet received from
+// Recv/RecvBatch/DecodeFrame, or handed to a receive-path helper, may share
+// its backing array with the slice the SENDER passed to SendBatch — on the
+// in-process fabric it is literally the same slice, and an exactly-once
+// sender still reads it after the send to append the sent prefix to its
+// replay ring. The receiver therefore must never write through it: filter
+// by allocating a fresh slice (returning the original as-is when nothing
+// is dropped keeps the common case zero-copy).
+//
+// A batch is considered received when it is:
+//   - the result of a call to RecvBatch or DecodeFrame, or
+//   - a parameter of type []*packet.Packet (or []*Packet) named ps or run —
+//     the repo's naming convention for wire-order inbound batches.
+//
+// Flagged writes: element assignment through the batch, append whose base
+// aliases the batch (s, s[:0], s[:i] — the compaction idiom), and handing
+// the batch to a known in-place mutator (sort.Slice, slices.Sort, ...).
+// Reassigning a variable from make/clone untaints it; plain reslicing
+// propagates the taint.
+package batchalias
+
+import (
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the batchalias invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "batchalias",
+	Doc:  "forbid in-place mutation/compaction of packet batches obtained from the receive path",
+	Run:  run,
+}
+
+// sourceCalls yield received batches.
+var sourceCalls = map[string]bool{
+	"RecvBatch":   true,
+	"DecodeFrame": true,
+}
+
+// sourceParams are the conventional names of received-batch parameters.
+var sourceParams = map[string]bool{
+	"ps":  true,
+	"run": true,
+}
+
+// mutators take a slice and write through it.
+var mutators = map[string]bool{
+	"Slice":          true, // sort.Slice
+	"SliceStable":    true, // sort.SliceStable
+	"Sort":           true, // slices.Sort
+	"SortFunc":       true, // slices.SortFunc
+	"SortStableFunc": true, // slices.SortStableFunc
+	"Reverse":        true, // slices.Reverse
+	"Delete":         true, // slices.Delete
+	"Insert":         true, // slices.Insert
+	"Compact":        true, // slices.Compact
+	"CompactFunc":    true, // slices.CompactFunc
+}
+
+func run(pass *lint.Pass) error {
+	lint.FuncsOf(pass.Files, func(fd *ast.FuncDecl) {
+		checkFunc(pass, fd)
+	})
+	return nil
+}
+
+// isPacketSlice matches the type expressions []*packet.Packet and []*Packet.
+func isPacketSlice(t ast.Expr) bool {
+	arr, ok := t.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	star, ok := arr.Elt.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch e := star.X.(type) {
+	case *ast.Ident:
+		return e.Name == "Packet"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Packet"
+	}
+	return false
+}
+
+// checkFunc runs the flow-insensitive-across-branches, source-order taint
+// walk over one function body.
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	tainted := map[string]bool{}
+	for _, field := range fd.Type.Params.List {
+		if !isPacketSlice(field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if sourceParams[name.Name] {
+				tainted[name.Name] = true
+			}
+		}
+	}
+
+	// taintedExpr reports whether e aliases a received batch right now.
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[x.Name]
+		case *ast.SliceExpr:
+			return taintedExpr(x.X)
+		case *ast.CallExpr:
+			return sourceCalls[lint.CalleeName(x)]
+		}
+		return false
+	}
+
+	// freshExpr reports whether e is a freshly allocated slice (make, a
+	// clone via append onto a nil/fresh base, or a composite literal).
+	freshBase := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+				return true
+			}
+		case *ast.CompositeLit:
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// Sinks first: writes through a tainted slice element.
+			for _, lhs := range st.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && taintedExpr(ix.X) {
+					pass.Reportf(ix.Pos(), "in-place mutation of received batch %q: its backing array may be shared with the sender's SendBatch slice", exprName(ix.X))
+				}
+			}
+			// Then update taint for simple ident targets.
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					rhs := ast.Unparen(st.Rhs[i])
+					switch {
+					case taintedExpr(rhs):
+						tainted[id.Name] = true
+					case isCloneAppend(rhs, freshBase):
+						tainted[id.Name] = false
+					default:
+						if call, ok := rhs.(*ast.CallExpr); ok && lint.CalleeName(call) == "append" && len(call.Args) > 0 && taintedExpr(call.Args[0]) {
+							// handled below as a sink; keep taint flowing
+							tainted[id.Name] = true
+						} else {
+							tainted[id.Name] = false
+						}
+					}
+				}
+			} else if len(st.Rhs) == 1 {
+				// x, err := RecvBatch(...) — taint the first value.
+				if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && sourceCalls[lint.CalleeName(call)] {
+					if id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident); ok {
+						tainted[id.Name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name := lint.CalleeName(st)
+			if name == "append" && len(st.Args) > 0 && taintedExpr(st.Args[0]) {
+				pass.Reportf(st.Pos(), "append onto received batch %q compacts it in place: the backing array may be shared with the sender's SendBatch slice; allocate a fresh slice instead", exprName(st.Args[0]))
+			}
+			if mutators[name] && len(st.Args) > 0 && taintedExpr(st.Args[0]) {
+				pass.Reportf(st.Pos(), "%s mutates received batch %q in place: the backing array may be shared with the sender", name, exprName(st.Args[0]))
+			}
+		}
+		return true
+	})
+}
+
+// isCloneAppend matches append(FRESH, ...) and append([]T(nil), ...) —
+// the clone idioms that produce an owned slice.
+func isCloneAppend(e ast.Expr, freshBase func(ast.Expr) bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := lint.CalleeName(call)
+	if name == "make" {
+		return true
+	}
+	if name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	base := ast.Unparen(call.Args[0])
+	if freshBase(base) {
+		return true
+	}
+	// append([]*packet.Packet(nil), src...) — conversion of nil.
+	if conv, ok := base.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if id, ok := ast.Unparen(conv.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+			return true
+		}
+	}
+	// Nested clone: append(append([]T(nil), a...), b...)
+	if isCloneAppend(base, freshBase) {
+		return true
+	}
+	return false
+}
+
+// exprName renders a short name for diagnostics.
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SliceExpr:
+		return exprName(x.X)
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return "batch"
+}

@@ -1,0 +1,11 @@
+package batchalias
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestBatchAlias(t *testing.T) {
+	linttest.Run(t, Analyzer, "batchalias")
+}

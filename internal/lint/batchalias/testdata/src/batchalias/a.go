@@ -1,0 +1,132 @@
+// Fixture for the batchalias analyzer. The two "Racy" functions are
+// faithful reconstructions of the PR 7 receive-path races: FlowLink.absorb
+// compacting the received batch through ps[:0], and streamState.dropDups
+// writing elements back into the run. Both backing arrays are shared with
+// the sender's SendBatch slice on the in-process fabric, which the
+// exactly-once sender re-reads after the send to build its replay ring.
+package batchalias
+
+import "sort"
+
+type Packet struct {
+	Tag int32
+	Seq uint64
+}
+
+type link struct{ ch chan []*Packet }
+
+func RecvBatch(l *link) ([]*Packet, error) { return <-l.ch, nil }
+
+func DecodeFrame(b []byte) ([]*Packet, error) { return nil, nil }
+
+const tagControl = 0
+
+// absorbRacy is the PR 7 FlowLink.absorb bug: ps[:0] reuses the received
+// batch's backing array, so every append overwrites a packet the sender
+// may still read.
+func absorbRacy(ps []*Packet) []*Packet {
+	kept := ps[:0]
+	for _, p := range ps {
+		if p.Tag == tagControl {
+			continue
+		}
+		kept = append(kept, p) // want `append onto received batch "kept" compacts it in place`
+	}
+	return kept
+}
+
+// dropDupsRacy is the PR 7 streamState.dropDups bug: compacting the run by
+// writing survivors back into the shared array.
+func dropDupsRacy(run []*Packet) []*Packet {
+	j := 0
+	for _, p := range run {
+		if p.Seq != 0 {
+			run[j] = p // want `in-place mutation of received batch "run"`
+			j++
+		}
+	}
+	return run[:j]
+}
+
+// sortRacy hands a received batch to an in-place mutator.
+func sortRacy(l *link) {
+	ps, _ := RecvBatch(l)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Seq < ps[j].Seq }) // want `Slice mutates received batch "ps" in place`
+}
+
+// resliceRacy shows taint propagating through a reslice.
+func resliceRacy(l *link) {
+	ps, _ := RecvBatch(l)
+	head := ps[:2]
+	head[0] = nil // want `in-place mutation of received batch "head"`
+}
+
+// decodeRacy shows the frame-decode source.
+func decodeRacy(b []byte) {
+	ps, _ := DecodeFrame(b)
+	ps[0] = nil // want `in-place mutation of received batch "ps"`
+}
+
+// absorbFixed is the shipped fix: survivors go into a fresh allocation.
+func absorbFixed(ps []*Packet) []*Packet {
+	kept := make([]*Packet, 0, len(ps))
+	for _, p := range ps {
+		if p.Tag == tagControl {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// dropDupsFixed clones lazily on the first drop, like the shipped code.
+func dropDupsFixed(run []*Packet) []*Packet {
+	kept := run
+	alloc := false
+	for i, p := range run {
+		if p.Seq == 0 {
+			if !alloc {
+				kept = append(make([]*Packet, 0, len(run)-1), run[:i]...)
+				alloc = true
+			}
+			continue
+		}
+		if alloc {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// cloneThenCompact owns its copy and may mutate it freely.
+func cloneThenCompact(ps []*Packet) []*Packet {
+	own := append([]*Packet(nil), ps...)
+	j := 0
+	for _, p := range own {
+		if p.Tag != tagControl {
+			own[j] = p
+			j++
+		}
+	}
+	return own[:j]
+}
+
+// forward only reads: reslicing and indexing without writes is fine.
+func forward(ps []*Packet) (*Packet, []*Packet) {
+	return ps[0], ps[1:]
+}
+
+// ownBuffer mutates a slice it allocated itself.
+func ownBuffer(n int) []*Packet {
+	buf := make([]*Packet, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, &Packet{})
+	}
+	buf[0] = nil
+	return buf
+}
+
+// otherParam is not named ps/run and not packet-typed from the wire.
+func otherParam(backlog []*Packet, extra []*Packet) []*Packet {
+	return append(backlog, extra...)
+}

@@ -1,0 +1,11 @@
+package creditpair
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCreditPair(t *testing.T) {
+	linttest.Run(t, Analyzer, "creditpair")
+}

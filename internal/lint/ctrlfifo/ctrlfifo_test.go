@@ -1,0 +1,11 @@
+package ctrlfifo
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCtrlFifo(t *testing.T) {
+	linttest.Run(t, Analyzer, "ctrlfifo")
+}

@@ -1,0 +1,115 @@
+// Package linttest is the test driver for internal/lint analyzers, a
+// dependency-free analogue of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<name>/, and every line that
+// should produce a diagnostic carries a trailing comment of the form
+//
+//	// want `regexp`            (or // want "regexp")
+//	// want `re1` `re2`         (two diagnostics on one line)
+//
+// Run fails the test for every expected diagnostic that did not fire, and
+// for every diagnostic that fired without a matching want.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the quoted regexps from one want comment body.
+func parseWants(t *testing.T, file string, line int, body string) []*regexp.Regexp {
+	var wants []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		q := rest[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s:%d: malformed want clause %q", file, line, rest)
+		}
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern %q", file, line, rest)
+		}
+		raw := rest[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, raw, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %s: %v", file, line, pat, err)
+		}
+		wants = append(wants, re)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return wants
+}
+
+// Run lints testdata/src/<pkg> under dir with the analyzer and checks the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, analyzer *lint.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	fset := token.NewFileSet()
+	files, err := lint.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], parseWants(t, pos.Filename, pos.Line, m[1])...)
+			}
+		}
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, dir, []*lint.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", analyzer.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // consume
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, Analyzer, "lockorder")
+}

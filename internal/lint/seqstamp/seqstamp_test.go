@@ -1,0 +1,11 @@
+package seqstamp
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSeqStamp(t *testing.T) {
+	linttest.Run(t, Analyzer, "seqstamp")
+}

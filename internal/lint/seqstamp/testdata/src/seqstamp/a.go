@@ -1,0 +1,98 @@
+// Fixture for the seqstamp analyzer: fresh upward data packets must carry
+// an origin sequence stamp before egress enqueue.
+package seqstamp
+
+type Packet struct{ Seq uint64 }
+
+func (p *Packet) WithSeq(s uint64) *Packet { return p }
+
+func MakeSeq(rank int, ctr uint64) uint64 { return 0 }
+
+type filter struct{}
+
+func (f *filter) Transform(in []*Packet) ([]*Packet, error) { return in, nil }
+
+type egress struct{}
+
+func (e *egress) sendCtx(p *Packet, prio int, block bool) error { return nil }
+func (e *egress) sendAck(p *Packet) error                       { return nil }
+func (e *egress) send(p *Packet) error                          { return nil }
+
+type link struct{}
+
+func (l *link) Send(p *Packet) error { return nil }
+
+type node struct {
+	parentOut *egress
+	childOut  []*egress
+	tf        *filter
+	rank      int
+	ctr       uint64
+}
+
+// flushBad transforms and forwards upward without stamping: after a
+// recovery the replayed copies are indistinguishable from fresh packets
+// and get delivered twice.
+func (n *node) flushBad(batch []*Packet) {
+	out, _ := n.tf.Transform(batch)
+	for _, p := range out {
+		_ = n.parentOut.sendCtx(p, 0, true) // want `transforms packets and emits them upward without a Seq stamp`
+	}
+}
+
+// flushGood stamps fresh outputs and preserves non-zero origin stamps.
+func (n *node) flushGood(batch []*Packet) {
+	out, _ := n.tf.Transform(batch)
+	for _, p := range out {
+		if p.Seq == 0 {
+			n.ctr++
+			p = p.WithSeq(MakeSeq(n.rank, n.ctr))
+		}
+		_ = n.parentOut.sendCtx(p, 0, true)
+	}
+}
+
+// forward is an identity relay: no Transform, the origin Seq rides along.
+func (n *node) forward(p *Packet) {
+	_ = n.parentOut.sendCtx(p, 0, true)
+}
+
+// fanDown transforms for the downstream direction: downstream traffic has
+// no replay ring, so no stamp is required.
+func (n *node) fanDown(batch []*Packet) {
+	out, _ := n.tf.Transform(batch)
+	for _, p := range out {
+		for _, q := range n.childOut {
+			_ = q.send(p)
+		}
+	}
+}
+
+type BackEnd struct {
+	rank int
+	ctr  uint64
+	out  *link
+	eg   *egress
+}
+
+func (be *BackEnd) parentLink() *link { return be.out }
+
+// SendPacket is the stamping chokepoint: every packet leaves with a Seq.
+func (be *BackEnd) SendPacket(p *Packet) error {
+	if p.Seq == 0 {
+		be.ctr++
+		p = p.WithSeq(MakeSeq(be.rank, be.ctr))
+	}
+	if be.eg != nil {
+		return be.eg.send(p)
+	}
+	return be.parentLink().Send(p)
+}
+
+// Emit delegates to the chokepoint: fine.
+func (be *BackEnd) Emit(p *Packet) error { return be.SendPacket(p) }
+
+// FlushRaw bypasses the chokepoint without stamping.
+func (be *BackEnd) FlushRaw(p *Packet) error {
+	return be.parentLink().Send(p) // want `BackEnd.FlushRaw emits upward without stamping`
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# check-allowlisted.sh — run a linter and fail only on findings that are
+# not covered by a checked-in allowlist.
+#
+#   check-allowlisted.sh <allowlist> <finding-regex> <command> [args...]
+#
+# The command runs and its full output is echoed. Lines matching
+# <finding-regex> (extended regexp) are the tool's findings; each finding
+# must match at least one regex in <allowlist> (one extended regexp per
+# line, '#' comments and blank lines ignored) or this script exits 1. A
+# fully-allowlisted failure exits 0, so a waived finding never blocks CI —
+# but the waiver is a reviewed file in the repo, not a CI-config flag.
+set -u
+
+if [ "$#" -lt 3 ]; then
+    echo "usage: $0 <allowlist> <finding-regex> <command> [args...]" >&2
+    exit 2
+fi
+
+allowlist=$1
+finding_re=$2
+shift 2
+
+if [ ! -f "$allowlist" ]; then
+    echo "check-allowlisted: allowlist $allowlist not found" >&2
+    exit 2
+fi
+
+out=$("$@" 2>&1)
+status=$?
+printf '%s\n' "$out"
+
+findings=$(printf '%s\n' "$out" | grep -E -e "$finding_re" || true)
+if [ -z "$findings" ]; then
+    # No findings: pass through the tool's own verdict (a crash or usage
+    # error must still fail the job).
+    exit "$status"
+fi
+
+patterns=$(grep -v -E '^[[:space:]]*(#|$)' "$allowlist" || true)
+if [ -n "$patterns" ]; then
+    remaining=$(printf '%s\n' "$findings" | grep -v -E -f <(printf '%s\n' "$patterns") || true)
+else
+    remaining=$findings
+fi
+
+if [ -n "$remaining" ]; then
+    echo "check-allowlisted: findings not covered by $allowlist:" >&2
+    printf '%s\n' "$remaining" >&2
+    exit 1
+fi
+echo "check-allowlisted: all findings covered by $allowlist"
+exit 0
