@@ -16,19 +16,25 @@
 //	tbon-bench -exp flowcontrol   # ablation: credit window × slow consumer
 //	tbon-bench -exp multitenant   # session fabric: N tenants over one overlay
 //	tbon-bench -exp exactlyonce   # ablation: exactly-once recovery vs lossy adoption
+//	tbon-bench -exp zeroalloc     # ablation: packet-arena pooling on vs off
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales. With
 // -json the selected experiments emit one machine-readable array of
 // {experiment, recorded_at, gomaxprocs, rows} envelopes on stdout instead
 // of tables — redirect to BENCH_<tag>.json to record the perf trajectory
-// of a change.
+// of a change. Experiments that measure their hot path's allocation
+// profile (zeroalloc) additionally stamp allocs_per_op / bytes_per_op on
+// the envelope. -cpuprofile and -memprofile write pprof profiles of the
+// selected experiments for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|multitenant|exactlyonce|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|multitenant|exactlyonce|zeroalloc|all")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (an array of {experiment, rows} envelopes) instead of tables; record as BENCH_*.json to track the perf trajectory")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
@@ -51,7 +57,42 @@ func main() {
 	mtOps := flag.Int("mt-ops", 0, "multitenant operations per tenant (default 24)")
 	eoPerBE := flag.Int("eo-perbe", 0, "exactlyonce ids per back-end (default 80)")
 	eoSeeds := flag.Int("eo-seeds", 0, "exactlyonce seeded schedules per mode (default 5)")
+	zaBatch := flag.Int("za-batch", 0, "zeroalloc packets per flush (default 32)")
+	zaPayload := flag.Int("za-payload", 0, "zeroalloc payload bytes per packet (default 1024)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tbon-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tbon-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so it snapshots the heap after the selected experiments;
+		// errors are reported without os.Exit so the CPU-profile stop (also
+		// deferred) still runs.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tbon-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tbon-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var reports []experiments.Report
 	// table renders a human-readable table only when someone will see it;
@@ -236,6 +277,21 @@ func main() {
 			return nil, "", err
 		}
 		return rows, table(func() string { return experiments.ExactlyOnceTable(cfg, rows) }), nil
+	})
+
+	run("zeroalloc", func() (any, string, error) {
+		cfg := experiments.DefaultZeroAllocConfig()
+		if *zaBatch > 0 {
+			cfg.Batch = *zaBatch
+		}
+		if *zaPayload > 0 {
+			cfg.PayloadBytes = *zaPayload
+		}
+		rows, err := experiments.RunZeroAlloc(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, table(func() string { return experiments.ZeroAllocTable(cfg, rows) }), nil
 	})
 
 	if *jsonOut {

@@ -146,6 +146,15 @@ type egressQueue struct {
 
 	// flushMu is the wire ownership (see above). Held across link sends.
 	flushMu sync.Mutex
+	// takeBuf is the flusher's reusable batch buffer (owned by flushMu).
+	// It is recycled across flushes only when the link copies batches
+	// before SendBatch returns (copies); on retaining links — the
+	// in-process transport, where the slice itself is the channel
+	// transfer — a fresh buffer is taken per flush.
+	takeBuf []*packet.Packet
+	// copies caches transport.BatchCopies(link); read under flushMu,
+	// written at construction and by setLink (which holds both locks).
+	copies bool
 
 	mu   sync.Mutex
 	link transport.Link
@@ -175,7 +184,12 @@ type egressQueue struct {
 	// acknowledged packets (the per-node acker); nil at the back-end, where
 	// acknowledgements only free ring memory.
 	ackSink func([]*pendRetire)
-	ring    []ringEntry
+	// ring is the preallocated circular replay buffer, sized to the link
+	// window (the credit protocol bounds unacknowledged flushed data at
+	// W); its slot structs are the recycled egress slots — a flushed
+	// packet's custody moves from the schedule into a ring slot, and the
+	// slot is reused once the cumulative ack retires it.
+	ring *replayRing
 	// ringAcked counts ring entries popped since the current link was
 	// installed — the peer's cumulative count minus this is what a grant
 	// newly acknowledges.
@@ -206,6 +220,7 @@ func kickFunc(ch chan struct{}) func() {
 // hard-bounded occupancy, credit-aware flushes, priority scheduling.
 func newEgressQueue(l transport.Link, pol BatchPolicy, m *Metrics, retain bool, kick func()) *egressQueue {
 	q := &egressQueue{link: l, pol: pol, m: m, retain: retain, kick: kick, window: pol.MaxBatch}
+	q.copies = transport.BatchCopies(l)
 	if pol.Adaptive {
 		q.window = 2
 		if q.window > pol.MaxBatch {
@@ -259,6 +274,11 @@ func (q *egressQueue) adoptFlow(l transport.Link) {
 func (q *egressQueue) enableReplay(sink func([]*pendRetire)) {
 	q.xonce = true
 	q.ackSink = sink
+	capacity := transport.DefaultChanBuffer
+	if q.flow != nil {
+		capacity = q.flow.Window()
+	}
+	q.ring = newReplayRing(capacity)
 	if q.flow != nil {
 		q.flow.SetAckHook(q.onAck)
 	}
@@ -313,9 +333,13 @@ func (q *egressQueue) noteSent(sent []*packet.Packet) {
 			ack = a
 			delete(q.meta, p)
 		}
-		q.ring = append(q.ring, ringEntry{p: p, ack: ack})
+		// Custody transfer: the encoded-body hold taken at enqueue now
+		// belongs to the ring slot and is released when the cumulative
+		// ack pops it (onAck) — the "replay ring has let go" half of the
+		// release condition.
+		q.ring.push(ringEntry{p: p, ack: ack})
 	}
-	if n := len(q.ring); n > q.ringHW {
+	if n := q.ring.len(); n > q.ringHW {
 		q.ringHW = n
 		for {
 			cur := q.m.ReplayRingHighWater.Load()
@@ -345,21 +369,28 @@ func (q *egressQueue) onAck(n int, cum uint64) {
 		target = q.ringAcked
 	}
 	pop := int(target - q.ringAcked)
-	if pop > len(q.ring) {
-		pop = len(q.ring)
+	if q.ring == nil {
+		pop = 0
+	} else if pop > q.ring.len() {
+		pop = q.ring.len()
 	}
 	for i := 0; i < pop; i++ {
-		e := q.ring[i]
+		e := q.ring.popFront()
 		if e.ack != nil {
 			acks = append(acks, e.ack)
 		}
-		// Acknowledged while queued for re-flush: the copy still scheduled
-		// will be re-appended by its noteSent and retired as a duplicate by
-		// the peer — the count algebra stays consistent either way.
-		delete(q.replaying, e.p)
-		q.ring[i] = ringEntry{}
+		if _, pending := q.replaying[e.p]; pending {
+			// Acknowledged while queued for re-flush: the copy still
+			// scheduled will be re-appended by its noteSent and retired as
+			// a duplicate by the peer — the count algebra stays consistent
+			// either way, and the encoded-body hold transfers to that
+			// future ring slot (releasing here could recycle bytes the
+			// re-flush is about to put on the wire).
+			delete(q.replaying, e.p)
+		} else {
+			e.p.ReleaseEncoded()
+		}
 	}
-	q.ring = q.ring[pop:]
 	q.ringAcked += uint64(pop)
 	sink := q.ackSink
 	q.mu.Unlock()
@@ -482,15 +513,28 @@ func (q *egressQueue) send(p *packet.Packet) error {
 func (q *egressQueue) sendCtx(p *packet.Packet, prio int, block bool) error {
 	if !q.fc {
 		if !q.pol.enabled() {
-			// Lock-free link read: q.link changes only before the queue is
-			// shared or while the owner's shards are quiesced (setLink during
-			// reparent), so no sender can observe the swap mid-flight.
-			return q.link.Send(p)
+			return q.sendDirect(p)
 		}
 		return q.enqueue(p, prio, false)
 	}
 	q.acquireSlot(block)
 	return q.enqueue(p, prio, false)
+}
+
+// sendDirect forwards p straight to the link (batching and flow control
+// both off), holding encoded-body custody across the send so a TCP write
+// serializes into an arena buffer that recycles as soon as the wire has
+// the bytes. Lock-free link read: q.link changes only before the queue is
+// shared or while the owner's shards are quiesced (setLink during
+// reparent), so no sender can observe the swap mid-flight.
+func (q *egressQueue) sendDirect(p *packet.Packet) error {
+	if p.Tag == packet.TagControl {
+		return q.link.Send(p)
+	}
+	p.RetainEncoded(1)
+	err := q.link.Send(p)
+	p.ReleaseEncoded()
+	return err
 }
 
 // sendNow enqueues p and flushes immediately. Control packets use it:
@@ -501,7 +545,7 @@ func (q *egressQueue) sendCtx(p *packet.Packet, prio int, block bool) error {
 // delayed behind credit-stalled data.
 func (q *egressQueue) sendNow(p *packet.Packet) error {
 	if !q.fc && !q.pol.enabled() {
-		return q.link.Send(p)
+		return q.sendDirect(p)
 	}
 	return q.enqueue(p, 0, true)
 }
@@ -511,6 +555,14 @@ func (q *egressQueue) sendNow(p *packet.Packet) error {
 // the wire: a triggered flush that finds another flusher active is
 // absorbed by that flusher's drain loop.
 func (q *egressQueue) enqueue(p *packet.Packet, prio int, ctrl bool) error {
+	if p.Tag != packet.TagControl {
+		// Custody: the queue holds the data packet's encoded body from
+		// here until the flush that ships it lets go — or, exactly-once,
+		// until the replay ring does (DESIGN.md §12). While at least one
+		// queue holds it, the encode body is arena-backed and every
+		// reader of its bytes is covered by a hold.
+		p.RetainEncoded(1)
+	}
 	q.mu.Lock()
 	wasEmpty := q.queuedLocked() == 0
 	if q.sched != nil {
@@ -614,7 +666,15 @@ func (q *egressQueue) flushLoop(cause int) error {
 		var total, nData int
 		var stalled bool
 		if q.sched != nil {
-			batch, total, nData, stalled = q.sched.take(q.flow, bypass)
+			batch, total, nData, stalled = q.sched.take(q.flow, bypass, q.takeBuf[:0])
+			// The take buffer is recycled across flushes only on links
+			// that copy batches; a retaining link owns the slice once
+			// sendFrames hands it over (the batchalias contract).
+			if q.copies {
+				q.takeBuf = batch[:0]
+			} else {
+				q.takeBuf = nil
+			}
 		} else {
 			batch, total = q.buf, q.bytes
 			q.buf, q.bytes = nil, 0
@@ -635,11 +695,18 @@ func (q *egressQueue) flushLoop(cause int) error {
 		q.mu.Unlock()
 
 		unsent, frames, err := q.sendFrames(batch, total)
+		sent := batch[: len(batch)-len(unsent) : len(batch)]
 		if q.xonce {
 			// Ring-append the sent prefix even when the flush failed: those
 			// frames reached the wire before the link died, and losing them
-			// from the ring would make them unrecoverable.
-			q.noteSent(batch[: len(batch)-len(unsent) : len(batch)])
+			// from the ring would make them unrecoverable. Custody of the
+			// sent packets moves into the ring.
+			q.noteSent(sent)
+		} else {
+			// Sent packets left the queue for good: release the custody
+			// holds taken at enqueue, returning arena-backed encode
+			// bodies once every sharing queue has flushed.
+			releaseEncoded(sent)
 		}
 		if frames > 0 {
 			q.m.FramesSent.Add(frames)
@@ -685,6 +752,18 @@ func (q *egressQueue) flushLoop(cause int) error {
 		}
 	}
 	return nil
+}
+
+// releaseEncoded drops the enqueue-time custody hold of every data packet
+// in ps, recycling arena-backed encode bodies once the last holding queue
+// lets go. Control packets are never tracked (they are encoded at most once
+// per link and their bodies are not pooled).
+func releaseEncoded(ps []*packet.Packet) {
+	for _, p := range ps {
+		if p.Tag != packet.TagControl {
+			p.ReleaseEncoded()
+		}
+	}
 }
 
 // noteStallLocked marks the queue credit-stalled: its age deadline is
@@ -753,6 +832,7 @@ func (q *egressQueue) failedFlush(batch, unsent []*packet.Packet, nData int, byp
 		// reparent can re-flush it to the new parent.
 		if n := len(unsent) - maxRetained; n > 0 {
 			q.m.EgressDrops.Add(int64(n))
+			releaseEncoded(unsent[:n])
 			unsent = unsent[n:]
 		}
 		if q.sched != nil {
@@ -769,6 +849,7 @@ func (q *egressQueue) failedFlush(batch, unsent []*packet.Packet, nData int, byp
 		q.oldest = time.Now()
 	} else {
 		q.m.EgressDrops.Add(int64(len(unsent)))
+		releaseEncoded(unsent)
 		q.releaseSlots(unsentData)
 	}
 }
@@ -891,7 +972,8 @@ func (q *egressQueue) setLink(l transport.Link) {
 		// by an earlier setLink are still at the schedule head; skip them.
 		q.ringAcked = 0
 		var replay []*packet.Packet
-		for _, e := range q.ring {
+		for i := 0; i < q.ring.len(); i++ {
+			e := q.ring.at(i)
 			if _, pending := q.replaying[e.p]; pending {
 				continue
 			}
@@ -945,9 +1027,15 @@ func (q *egressQueue) clear() {
 		return
 	}
 	q.m.EgressDrops.Add(int64(dropped))
-	q.buf, q.bytes = nil, 0
 	if q.sched != nil {
-		q.sched = newEgressSched()
+		// Drain through take so the scheduler's freelists keep their
+		// recycled epochs and streams, and release the dropped packets'
+		// custody holds.
+		ps, _, _, _ := q.sched.take(nil, true, nil)
+		releaseEncoded(ps)
+	} else {
+		releaseEncoded(q.buf)
+		q.buf, q.bytes = nil, 0
 	}
 	q.releaseSlots(dropped)
 	q.stalled = false
@@ -971,18 +1059,22 @@ func (q *egressQueue) extract() []*packet.Packet {
 	}
 	var out []*packet.Packet
 	if q.sched != nil {
-		ps, _, _, _ := q.sched.take(nil, true)
+		ps, _, _, _ := q.sched.take(nil, true, nil)
 		for _, p := range ps {
 			if p.Tag != packet.TagControl {
 				out = append(out, p)
 			}
 		}
+		// The router re-enqueues the extracted packets through the repaired
+		// routes, re-taking custody there; this queue's holds end here.
+		releaseEncoded(ps)
 	} else {
 		for _, p := range q.buf {
 			if p.Tag != packet.TagControl {
 				out = append(out, p)
 			}
 		}
+		releaseEncoded(q.buf)
 		q.buf, q.bytes = nil, 0
 	}
 	if d := total - len(out); d > 0 {

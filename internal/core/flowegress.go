@@ -43,7 +43,20 @@ type egressSched struct {
 	// window bounds (control consumes no slots), and what the high-water
 	// gauge reports in flow-controlled mode.
 	data int
+	// freeEpochs and freeStreams recycle drained scheduler scaffolding:
+	// steady-state traffic opens and drains an epoch per flush cycle, and
+	// without the freelists each cycle would allocate an epoch struct, a
+	// stream map, and a stream struct per active stream.
+	freeEpochs  []*schedEpoch
+	freeStreams []*schedStream
 }
+
+// Freelist bounds: epochs recycle at flush cadence so a handful suffices;
+// streams scale with concurrent stream count per link.
+const (
+	maxFreeEpochs  = 8
+	maxFreeStreams = 256
+)
 
 type schedEpoch struct {
 	barrier *packet.Packet
@@ -74,9 +87,21 @@ func retireAndGrant(m *Metrics, fl *transport.FlowLink, n int) {
 		return
 	}
 	if g := fl.Retire(n); g > 0 {
-		m.CreditGrants.Add(1)
-		_ = fl.Send(fl.GrantPacket(g))
+		sendGrant(m, fl, g)
 	}
+}
+
+// sendGrant builds and sends one credit grant directly on the link, holding
+// encoded-body custody across the send so the grant's wire bytes come from
+// (and immediately return to) the packet arena — grants are the hottest
+// control packets, one per quarter window of data, and would otherwise
+// allocate a fresh body each.
+func sendGrant(m *Metrics, fl *transport.FlowLink, g int) {
+	m.CreditGrants.Add(1)
+	p := fl.GrantPacket(g)
+	p.RetainEncoded(1)
+	_ = fl.Send(p)
+	p.ReleaseEncoded()
 }
 
 // flushGrant returns a below-threshold retirement accumulation to the
@@ -92,8 +117,7 @@ func flushGrant(m *Metrics, fl *transport.FlowLink) {
 		return
 	}
 	if g := fl.FlushRetired(); g > 0 {
-		m.CreditGrants.Add(1)
-		_ = fl.Send(fl.GrantPacket(g))
+		sendGrant(m, fl, g)
 	}
 }
 
@@ -120,7 +144,14 @@ func (s *egressSched) add(p *packet.Packet, prio int, ctrl bool) {
 	e := s.open()
 	st := e.streams[p.StreamID]
 	if st == nil {
-		st = &schedStream{id: p.StreamID, prio: prio}
+		if n := len(s.freeStreams); n > 0 {
+			st = s.freeStreams[n-1]
+			s.freeStreams[n-1] = nil
+			s.freeStreams = s.freeStreams[:n-1]
+			st.id, st.prio = p.StreamID, prio
+		} else {
+			st = &schedStream{id: p.StreamID, prio: prio}
+		}
 		e.streams[st.id] = st
 		e.order = append(e.order, st)
 	}
@@ -128,14 +159,42 @@ func (s *egressSched) add(p *packet.Packet, prio int, ctrl bool) {
 	e.n++
 }
 
-// open returns the tail epoch, creating one if none is open.
+// open returns the tail epoch, creating (or recycling) one if none is open.
 func (s *egressSched) open() *schedEpoch {
 	if n := len(s.epochs); n > 0 && s.epochs[n-1].barrier == nil {
 		return s.epochs[n-1]
 	}
-	e := &schedEpoch{streams: map[uint32]*schedStream{}}
+	var e *schedEpoch
+	if n := len(s.freeEpochs); n > 0 {
+		e = s.freeEpochs[n-1]
+		s.freeEpochs[n-1] = nil
+		s.freeEpochs = s.freeEpochs[:n-1]
+	} else {
+		e = &schedEpoch{streams: map[uint32]*schedStream{}}
+	}
 	s.epochs = append(s.epochs, e)
 	return e
+}
+
+// recycle returns a popped epoch's scaffolding to the freelists, clearing
+// every packet reference first so recycled structs never pin memory.
+func (s *egressSched) recycle(e *schedEpoch) {
+	for i, st := range e.order {
+		for j := st.off; j < len(st.ps); j++ {
+			st.ps[j] = nil
+		}
+		st.ps, st.off = st.ps[:0], 0
+		if len(s.freeStreams) < maxFreeStreams {
+			s.freeStreams = append(s.freeStreams, st)
+		}
+		e.order[i] = nil
+	}
+	clear(e.streams)
+	e.order = e.order[:0]
+	e.rr, e.n, e.barrier = 0, 0, nil
+	if len(s.freeEpochs) < maxFreeEpochs {
+		s.freeEpochs = append(s.freeEpochs, e)
+	}
 }
 
 // restore puts the unsent remainder of a failed flush back at the head of
@@ -181,21 +240,25 @@ func (e *schedEpoch) pick() *schedStream {
 // within a priority, the epoch's barrier last. With fl non-nil and bypass
 // false, one send credit is acquired per data packet; when the peer's
 // window runs dry selection stops and stalled reports it (everything not
-// selected stays queued exactly where it was). Returns the batch, its
+// selected stays queued exactly where it was). The batch is appended to
+// dst (pass the flusher's reusable take buffer, or nil); drained epochs
+// and streams return to the scheduler's freelists. Returns the batch, its
 // encoded byte total, and how many data packets it carries (their
 // occupancy slots are released by the flusher once the wire accepts them).
 //
 //tbon:allow creditpair credits acquired here transfer to the returned batch: the flusher either sends it or restores it and refunds unsent data credits (failedFlush)
-func (s *egressSched) take(fl *transport.FlowLink, bypass bool) (ps []*packet.Packet, total, nData int, stalled bool) {
+func (s *egressSched) take(fl *transport.FlowLink, bypass bool, dst []*packet.Packet) (ps []*packet.Packet, total, nData int, stalled bool) {
+	ps = dst
 	needCredit := func() bool { return fl != nil && !bypass }
 	// Order-free control first — even ahead of the retained remainder: a
 	// credit-stalled retained head must never pin a heartbeat relay.
-	for _, p := range s.ctrl {
+	for i, p := range s.ctrl {
 		ps = append(ps, p)
 		total += p.EncodedSize() + 4
 		s.count--
+		s.ctrl[i] = nil
 	}
-	s.ctrl = nil
+	s.ctrl = s.ctrl[:0]
 	for len(s.retained) > 0 {
 		p := s.retained[0]
 		if p.Tag != packet.TagControl {
@@ -228,7 +291,7 @@ func (s *egressSched) take(fl *transport.FlowLink, bypass bool) (ps []*packet.Pa
 			st.ps[st.off] = nil
 			st.off++
 			if st.off == len(st.ps) {
-				st.ps, st.off = nil, 0
+				st.ps, st.off = st.ps[:0], 0
 			}
 			e.n--
 			s.count--
@@ -243,7 +306,9 @@ func (s *egressSched) take(fl *transport.FlowLink, bypass bool) (ps []*packet.Pa
 			e.barrier = nil
 			s.count--
 		}
+		s.epochs[0] = nil
 		s.epochs = s.epochs[1:]
+		s.recycle(e)
 	}
 	if len(s.epochs) == 0 {
 		s.epochs = nil

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// alloc-count assertions are skipped under it (instrumentation allocates).
+const raceEnabled = true

@@ -141,6 +141,60 @@ type ringEntry struct {
 	ack *pendRetire
 }
 
+// replayRing is the preallocated circular buffer behind an exactly-once
+// egress queue. Capacity is sized to the link window at enableReplay time
+// (the credit protocol bounds flushed-but-unacknowledged data at W), so
+// the steady state pushes and pops recycle the same slot structs with no
+// allocation; it grows by doubling only if a recovery excursion — replay
+// restoration racing fresh traffic — overflows the window bound.
+type replayRing struct {
+	buf  []ringEntry
+	head int
+	n    int
+}
+
+func newReplayRing(capacity int) *replayRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &replayRing{buf: make([]ringEntry, capacity)}
+}
+
+func (r *replayRing) len() int { return r.n }
+
+// at returns the i-th oldest entry (0 = front); callers keep i < len().
+func (r *replayRing) at(i int) ringEntry {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// push appends e at the back, growing when full.
+func (r *replayRing) push(e ringEntry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// popFront removes and returns the oldest entry, zeroing its slot so the
+// ring never pins packet memory past acknowledgement.
+func (r *replayRing) popFront() ringEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = ringEntry{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// grow doubles capacity, linearizing entries to head 0.
+func (r *replayRing) grow() {
+	nb := make([]ringEntry, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}
+
 // acker turns downstream acknowledgements into upstream credit grants.
 // Completions arrive from link reader goroutines (the egress ring's ack
 // hook), which must never touch the wire themselves — a reader blocked in
@@ -224,8 +278,7 @@ func (a *acker) run() {
 			for fl, g := range grants {
 				g += fl.FlushRetired()
 				if g > 0 {
-					a.m.CreditGrants.Add(1)
-					_ = fl.Send(fl.GrantPacket(g))
+					sendGrant(a.m, fl, g)
 				}
 			}
 		}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// newAllocQueue builds a flow-controlled egress queue over a WriterLink to
+// io.Discard: the full enqueue → schedule → encode → frame → "wire" path
+// runs at memory speed with batching semantics identical to a TCP link.
+func newAllocQueue(window int, pol BatchPolicy) (*egressQueue, *transport.FlowLink) {
+	fl := transport.NewFlowLink(transport.NewWriterLink(io.Discard), window)
+	q := newEgressQueue(fl, pol.normalized(), &Metrics{}, false, nil)
+	return q, fl
+}
+
+func allocPacket(t testing.TB) *packet.Packet {
+	t.Helper()
+	p, err := packet.New(tagQuery, 1, 7, "%d %f", 42, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHotPathAllocs pins the data plane's steady-state allocation behavior
+// with testing.AllocsPerRun: the encoded-body cycle is allocation-free, the
+// flow-controlled forward path stays at or under 2 allocs per packet, a
+// k-way multicast at or under 2 per child queue, and the credit-grant
+// protocol amortizes under 1 alloc per retired data packet. Regressions
+// here are exactly the per-packet garbage this PR removed.
+func TestHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by race instrumentation")
+	}
+	if !packet.PoolingEnabled() {
+		t.Skip("pooling disabled")
+	}
+
+	t.Run("encoded-body", func(t *testing.T) {
+		p := allocPacket(t)
+		cycle := func() {
+			p.RetainEncoded(1)
+			_ = p.EncodedBytes()
+			p.ReleaseEncoded()
+		}
+		cycle() // warm the arena's size class
+		if n := testing.AllocsPerRun(200, cycle); n > 0 {
+			t.Errorf("encoded-body cycle allocates %.2f/op, want 0", n)
+		}
+	})
+
+	t.Run("forward", func(t *testing.T) {
+		q, fl := newAllocQueue(64, BatchPolicy{})
+		p := allocPacket(t)
+		op := func() {
+			if err := q.send(p); err != nil {
+				t.Fatal(err)
+			}
+			fl.Refill(1)
+		}
+		for i := 0; i < 256; i++ {
+			op() // warm freelists, arena classes, frame scratch
+		}
+		if n := testing.AllocsPerRun(500, op); n > 2 {
+			t.Errorf("forward path allocates %.2f/op, want <= 2", n)
+		}
+	})
+
+	t.Run("multicast", func(t *testing.T) {
+		const k = 4
+		var qs [k]*egressQueue
+		var fls [k]*transport.FlowLink
+		for i := range qs {
+			qs[i], fls[i] = newAllocQueue(64, BatchPolicy{MaxBatch: 8})
+		}
+		p := allocPacket(t)
+		op := func() {
+			// The downstream fan-out shape: enqueue to every child queue
+			// first (k custody holds on one shared encode body), then each
+			// link flushes; the body recycles when the last queue lets go.
+			for _, q := range qs {
+				if err := q.sendCtx(p, 0, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, q := range qs {
+				if err := q.drain(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, fl := range fls {
+				fl.Refill(1)
+			}
+		}
+		for i := 0; i < 128; i++ {
+			op()
+		}
+		if n := testing.AllocsPerRun(300, op); n > 2*k {
+			t.Errorf("%d-way multicast allocates %.2f/op, want <= %d", k, n, 2*k)
+		}
+	})
+
+	t.Run("credit-grant", func(t *testing.T) {
+		m := &Metrics{}
+		fl := transport.NewFlowLink(transport.NewWriterLink(io.Discard), 64)
+		quarter := fl.Window() / 4
+		op := func() { retireAndGrant(m, fl, quarter) } // one grant per call
+		for i := 0; i < 64; i++ {
+			op()
+		}
+		n := testing.AllocsPerRun(300, op)
+		if per := n / float64(quarter); per > 1 {
+			t.Errorf("credit grants amortize to %.2f allocs per retired packet (%.1f/grant), want <= 1", per, n)
+		}
+	})
+}
+
+// runPoolSoak drives a fixed reduction workload and returns every
+// front-end result in arrival order.
+func runPoolSoak(t *testing.T, kind TransportKind, waves int) []float64 {
+	t.Helper()
+	nw, err := NewNetwork(Config{
+		Topology:   mustTree(t, "kary:3^2"),
+		Transport:  kind,
+		LinkWindow: 32,
+		Batch:      DefaultBatchPolicy(),
+		OnBackEnd: func(be *BackEnd) error {
+			for {
+				p, err := be.Recv()
+				if err != nil {
+					return nil
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%f", float64(be.Rank())); err != nil {
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	st, err := nw.NewStream(StreamSpec{Transformation: "sum", Synchronization: "waitforall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 0, waves)
+	for i := 0; i < waves; i++ {
+		if err := st.Multicast(tagQuery, "%d", i); err != nil {
+			t.Fatal(err)
+		}
+		p, err := st.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("wave %d: %v", i, err)
+		}
+		v, _ := p.Float(0)
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestPoolingEquivalence asserts the pooled data plane is observationally
+// identical to the pooling-off build on both fabrics: same workload, same
+// delivered results. Pooling must change where bytes live, never what the
+// overlay delivers.
+func TestPoolingEquivalence(t *testing.T) {
+	const waves = 40
+	for _, tc := range []struct {
+		name string
+		kind TransportKind
+	}{
+		{"chan", ChanTransport},
+		{"tcp", TCPTransport},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := packet.SetPooling(true)
+			pooled := runPoolSoak(t, tc.kind, waves)
+			packet.SetPooling(false)
+			plain := runPoolSoak(t, tc.kind, waves)
+			packet.SetPooling(prev)
+			if fmt.Sprint(pooled) != fmt.Sprint(plain) {
+				t.Errorf("pooled run diverged from unpooled:\npooled: %v\nplain:  %v", pooled, plain)
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathForward is the CI allocation gate: run with -benchmem,
+// its allocs/op column is asserted by the workflow's zero-alloc step.
+func BenchmarkHotPathForward(b *testing.B) {
+	q, fl := newAllocQueue(64, BatchPolicy{})
+	p := allocPacket(b)
+	for i := 0; i < 256; i++ {
+		if err := q.send(p); err != nil {
+			b.Fatal(err)
+		}
+		fl.Refill(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.send(p); err != nil {
+			b.Fatal(err)
+		}
+		fl.Refill(1)
+	}
+}

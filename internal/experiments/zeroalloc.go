@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// ZeroAllocConfig sizes the pooled-arena ablation.
+type ZeroAllocConfig struct {
+	// Batch is the packets per simulated egress flush (the encode → frame →
+	// write cycle a flow-controlled queue performs per round).
+	Batch int
+	// PayloadBytes is the %ac blob carried per packet; the paper's
+	// tool-data packets are this order of magnitude, and payload size sets
+	// how much of each op the allocator-vs-arena difference is.
+	PayloadBytes int
+}
+
+// DefaultZeroAllocConfig mirrors the egress defaults: a full flush window
+// of 1 KiB payloads.
+func DefaultZeroAllocConfig() ZeroAllocConfig {
+	return ZeroAllocConfig{Batch: 32, PayloadBytes: 1024}
+}
+
+// ZeroAllocRow is one arm of the pooling ablation.
+type ZeroAllocRow struct {
+	// Mode is "pooled" (arena on, the default) or "unpooled" (every encode
+	// body allocated fresh, the pre-arena behavior).
+	Mode string `json:"mode"`
+	// PktsPerSec is the single-threaded hot-path throughput.
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// AllocsPerOp / BytesPerOp are heap allocations per packet through the
+	// full encode → frame → write → release cycle.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Speedup is PktsPerSec over the unpooled arm's.
+	Speedup float64 `json:"speedup"`
+}
+
+// ZeroAllocRows carries the ablation rows and surfaces the pooled arm's
+// allocation profile to the Report envelope.
+type ZeroAllocRows []ZeroAllocRow
+
+// AllocProfile reports the pooled (production-default) arm's allocs/op and
+// bytes/op for the Report envelope.
+func (rs ZeroAllocRows) AllocProfile() (allocsPerOp, bytesPerOp float64) {
+	for _, r := range rs {
+		if r.Mode == "pooled" {
+			return r.AllocsPerOp, r.BytesPerOp
+		}
+	}
+	return 0, 0
+}
+
+// RunZeroAlloc measures the data plane's per-packet cost with the packet
+// arena on and off, at GOMAXPROCS=1 so the comparison is allocator work
+// against arena reuse rather than parallel GC absorption. The measured
+// cycle is an egress flush against a memory-speed link: retain encoded-body
+// custody for a window of packets, encode and frame them through the
+// persistent link scratch, write, release. Pooling on recycles every
+// encode body through the arena; pooling off allocates each one fresh and
+// leaves it to the GC — the pre-arena steady state.
+func RunZeroAlloc(cfg ZeroAllocConfig) (ZeroAllocRows, error) {
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultZeroAllocConfig().Batch
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = DefaultZeroAllocConfig().PayloadBytes
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	unpooled, err := zeroAllocArm(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := zeroAllocArm(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	unpooled.Speedup = 1
+	if unpooled.PktsPerSec > 0 {
+		pooled.Speedup = pooled.PktsPerSec / unpooled.PktsPerSec
+	}
+	return ZeroAllocRows{unpooled, pooled}, nil
+}
+
+// zeroAllocArm benchmarks one pooling mode.
+func zeroAllocArm(cfg ZeroAllocConfig, pooled bool) (ZeroAllocRow, error) {
+	restore := packet.SetPooling(pooled)
+	defer packet.SetPooling(restore)
+
+	link := transport.NewWriterLink(io.Discard)
+	defer link.Close()
+	blob := make([]byte, cfg.PayloadBytes)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	ps := make([]*packet.Packet, cfg.Batch)
+	for i := range ps {
+		p, err := packet.New(packet.TagFirstApplication, 1, packet.Rank(i), "%d %ac", i, blob)
+		if err != nil {
+			return ZeroAllocRow{}, err
+		}
+		ps[i] = p
+	}
+	var sendErr error
+	flush := func() {
+		// The egress custody cycle: one hold per packet for the flush,
+		// released once the wire has the bytes (recycling the arena-backed
+		// bodies when pooling is on).
+		for _, p := range ps {
+			p.RetainEncoded(1)
+		}
+		if err := link.SendBatch(ps); err != nil {
+			sendErr = err
+		}
+		for _, p := range ps {
+			p.ReleaseEncoded()
+		}
+	}
+	for i := 0; i < 64; i++ {
+		flush() // warm the arena classes and the link scratch
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flush()
+		}
+	})
+	if sendErr != nil {
+		return ZeroAllocRow{}, sendErr
+	}
+	mode := "unpooled"
+	if pooled {
+		mode = "pooled"
+	}
+	pkts := float64(cfg.Batch) * float64(res.N)
+	return ZeroAllocRow{
+		Mode:        mode,
+		PktsPerSec:  pkts / res.T.Seconds(),
+		AllocsPerOp: float64(res.AllocsPerOp()) / float64(cfg.Batch),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()) / float64(cfg.Batch),
+	}, nil
+}
+
+// ZeroAllocTable renders the ablation.
+func ZeroAllocTable(cfg ZeroAllocConfig, rows ZeroAllocRows) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Zero-allocation ablation: %d-packet flushes, %d B payloads, GOMAXPROCS=1\n",
+		cfg.Batch, cfg.PayloadBytes)
+	fmt.Fprintf(&b, "%-10s %14s %12s %12s %9s\n", "mode", "pkts/s", "allocs/op", "bytes/op", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.0f %12.2f %12.1f %8.2fx\n",
+			r.Mode, r.PktsPerSec, r.AllocsPerOp, r.BytesPerOp, r.Speedup)
+	}
+	return b.String()
+}

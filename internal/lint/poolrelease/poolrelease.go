@@ -1,0 +1,353 @@
+// Package poolrelease checks the packet-arena ownership discipline
+// (DESIGN.md §12): a pooled buffer obtained from GetBuf must, on every
+// control-flow path, either return to the arena (PutBuf), be handed to its
+// next owner (stored into the encode-once cache or another structure,
+// or returned to the caller), and must never be touched again after the
+// release — the arena may already have re-handed its bytes to another
+// goroutine. It also polices the encoded-body reference count: two
+// sequential ReleaseEncoded calls on the same packet with no intervening
+// RetainEncoded give up a reference the caller no longer owns, destroying
+// a sibling queue's hold mid-read (the multicast double-release bug).
+//
+// Three checks, all syntactic:
+//
+//	leak          b := GetBuf(n) followed by a path to return that neither
+//	              releases nor hands off b (creditpair-style walk);
+//	use-after     a statement mentioning b after PutBuf(b) in the same
+//	              statement list;
+//	double        PutBuf(b) twice, or p.ReleaseEncoded() twice, with no
+//	              reacquisition in between.
+//
+// Intentional ownership games (a cache that re-publishes a released
+// buffer, say) are annotated //tbon:allow poolrelease <reason>.
+package poolrelease
+
+import (
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the pooled-buffer ownership checker.
+var Analyzer = &lint.Analyzer{
+	Name: "poolrelease",
+	Doc:  "pooled buffers must be released or handed off exactly once on every path, and never used after release",
+	Run:  run,
+}
+
+// settleCalls hand a pooled buffer to its next owner or back to the arena.
+var settleCalls = map[string]bool{
+	"PutBuf": true,
+	"Store":  true, // the encode-once cache handoff: p.wire.Store(buf)
+}
+
+func run(pass *lint.Pass) error {
+	lint.FuncsOf(pass.Files, func(fd *ast.FuncDecl) {
+		switch fd.Name.Name {
+		case "GetBuf", "PutBuf", "RetainEncoded", "ReleaseEncoded":
+			return // the primitives themselves define the discipline
+		}
+		checkLeaks(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				scanList(pass, b.List)
+			case *ast.CaseClause:
+				scanList(pass, b.Body)
+			case *ast.CommClause:
+				scanList(pass, b.Body)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// mentions reports whether any identifier named v occurs under n.
+func mentions(n ast.Node, v string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && id.Name == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain (b, b.Data,
+// b.Data[0], (*b).x ...), or "".
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// settlerFor builds the settle predicate for buffer variable v: true when
+// n contains a release (PutBuf), a handoff (a settle call mentioning v, an
+// assignment that stores v somewhere other than v itself, or a return
+// mentioning v).
+func settlerFor(v string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		ok := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.CallExpr:
+				if settleCalls[lint.CalleeName(x)] && mentions(x, v) {
+					ok = true
+					return false
+				}
+			case *ast.ReturnStmt:
+				if mentions(x, v) {
+					ok = true
+					return false
+				}
+			case *ast.AssignStmt:
+				rhs := false
+				for _, r := range x.Rhs {
+					if mentions(r, v) {
+						rhs = true
+					}
+				}
+				if rhs {
+					handoff := true
+					for _, l := range x.Lhs {
+						if rootIdent(l) == v {
+							handoff = false // growing/reslicing v is not a handoff
+						}
+					}
+					if handoff {
+						ok = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return ok
+	}
+}
+
+// checkLeaks runs the creditpair-style reachability walk for every
+// `v := GetBuf(...)` in fd: a path from the acquisition to a return that
+// never settles v leaks a pooled buffer (it still recycles via the GC, but
+// silently gives up the zero-allocation property the arena exists for).
+func checkLeaks(pass *lint.Pass, fd *ast.FuncDecl) {
+	type acq struct {
+		stmt ast.Stmt
+		v    string
+		pos  ast.Node
+	}
+	var acquires []acq
+	hasDeferPut := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != 1 || len(m.Rhs) != 1 {
+				return true
+			}
+			id, ok := m.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := m.Rhs[0].(*ast.CallExpr)
+			if !ok || lint.CalleeName(call) != "GetBuf" {
+				return true
+			}
+			acquires = append(acquires, acq{stmt: m, v: id.Name, pos: call})
+		case *ast.DeferStmt:
+			if lint.ContainsCall(m, settleCalls) {
+				hasDeferPut = true // a deferred release covers every exit
+			}
+		case *ast.FuncLit:
+			return false // closures get their own semantics; skip
+		}
+		return true
+	})
+	if len(acquires) == 0 || hasDeferPut {
+		return
+	}
+
+	for _, a := range acquires {
+		frames := findFrames(fd.Body, a.pos)
+		if len(frames) == 0 {
+			continue
+		}
+		inner := frames[len(frames)-1]
+		w := &walker{settle: settlerFor(a.v)}
+		acc := w.stmts(inner.list, inner.idx+1)
+
+		// Propagate fall/break/continue up through the enclosing frames.
+		for fi := len(frames) - 2; fi >= 0; fi-- {
+			if w.bail {
+				break
+			}
+			f := frames[fi]
+			escaped := acc.fall
+			switch f.encl.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				escaped = acc.fall || acc.brk || acc.cont
+				acc.brk, acc.cont = false, false
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				escaped = acc.fall || acc.brk
+				acc.brk = false
+			}
+			acc.fall = false
+			if escaped {
+				acc = acc.or(w.stmts(f.list, f.idx+1))
+			}
+		}
+		if w.bail {
+			continue
+		}
+		if acc.ret || acc.fall {
+			pass.Reportf(a.pos.Pos(), "pooled buffer acquired by GetBuf may leak: a control-flow path reaches return without PutBuf or a handoff (annotate intentional transfer with //tbon:allow poolrelease)")
+		}
+	}
+}
+
+// scanList enforces the sequential half of the contract within one
+// statement list: no use of a buffer after its PutBuf, no second PutBuf,
+// and no second ReleaseEncoded without a RetainEncoded in between.
+func scanList(pass *lint.Pass, list []ast.Stmt) {
+	released := map[string]bool{} // PutBuf'd buffer idents
+	relEnc := map[string]bool{}   // ReleaseEncoded'd receiver roots
+	for _, s := range list {
+		for v := range released {
+			if assignsFreshTo(s, v) {
+				delete(released, v) // reacquired: tracking restarts
+				continue
+			}
+			if !mentions(s, v) {
+				continue
+			}
+			if put := findRelease(s, "PutBuf", v); put != nil {
+				pass.Reportf(put.Pos(), "pooled buffer %s released twice: PutBuf after an earlier PutBuf with no reacquisition", v)
+			} else {
+				pass.Reportf(s.Pos(), "use of pooled buffer %s after PutBuf: the arena may already have re-handed its bytes", v)
+			}
+			delete(released, v)
+		}
+		// A retain anywhere in the statement (even a nested branch) clears
+		// the release flag — conservative in the no-false-positive direction.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && lint.CalleeName(call) == "RetainEncoded" {
+				if r := receiverRoot(call); r != "" {
+					delete(relEnc, r)
+				}
+			}
+			return true
+		})
+		// Releases are recorded only at this list's own level: one nested in
+		// a sub-block does not dominate the statements after it (the nested
+		// list gets its own scan), and a deferred release is not sequential.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.BlockStmt, *ast.DeferStmt, *ast.FuncLit:
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch lint.CalleeName(call) {
+			case "PutBuf":
+				if len(call.Args) == 1 {
+					if v := rootIdent(call.Args[0]); v != "" {
+						released[v] = true
+					}
+				}
+			case "ReleaseEncoded":
+				r := receiverRoot(call)
+				if r == "" {
+					return true
+				}
+				if relEnc[r] {
+					pass.Reportf(call.Pos(), "ReleaseEncoded called twice on %s with no intervening RetainEncoded: the second call gives up a reference this code no longer owns", r)
+				}
+				relEnc[r] = true
+			}
+			return true
+		})
+	}
+}
+
+// receiverRoot returns the leftmost identifier of a method call's receiver
+// chain (p for p.ReleaseEncoded(), e for e.p.ReleaseEncoded()), or "".
+func receiverRoot(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return rootIdent(sel.X)
+}
+
+// assignsFreshTo reports whether s assigns a new value to v without
+// reading v: the tracked (released) buffer is replaced, not used.
+func assignsFreshTo(s ast.Stmt, v string) bool {
+	asg, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	hit := false
+	for _, l := range asg.Lhs {
+		if id, isIdent := l.(*ast.Ident); isIdent && id.Name == v {
+			hit = true
+		}
+	}
+	if !hit {
+		return false
+	}
+	for _, r := range asg.Rhs {
+		if mentions(r, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// findRelease returns the call name(arg-rooted-at-v) under s, or nil.
+func findRelease(s ast.Stmt, name, v string) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || lint.CalleeName(call) != name || len(call.Args) != 1 {
+			return true
+		}
+		if rootIdent(call.Args[0]) == v {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

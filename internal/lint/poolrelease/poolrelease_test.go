@@ -1,0 +1,11 @@
+package poolrelease
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestPoolRelease(t *testing.T) {
+	linttest.Run(t, Analyzer, "poolrelease")
+}

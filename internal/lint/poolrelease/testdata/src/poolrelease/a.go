@@ -1,0 +1,134 @@
+// Fixture for the poolrelease analyzer: pooled buffers must be released
+// or handed off exactly once on every path and never touched afterwards;
+// encoded-body references must not be released twice.
+package poolrelease
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type Buf struct {
+	Data []byte
+}
+
+func GetBuf(size int) *Buf { return &Buf{Data: make([]byte, 0, size)} }
+func PutBuf(b *Buf)        {}
+
+type Packet struct {
+	wire atomic.Pointer[Buf]
+}
+
+func (p *Packet) RetainEncoded(n int32)        {}
+func (p *Packet) ReleaseEncoded() bool         { return false }
+func (p *Packet) appendEncode(b []byte) []byte { return b }
+
+var errBad = errors.New("bad")
+
+func work() error  { return nil }
+func use(b *Buf)   {}
+func tooBig() bool { return false }
+
+// leakOnEarlyReturn acquires, then returns on the error check without
+// releasing: the buffer silently falls back to the GC.
+func leakOnEarlyReturn(n int) error {
+	b := GetBuf(n) // want `pooled buffer acquired by GetBuf may leak`
+	if err := work(); err != nil {
+		return err
+	}
+	use(b)
+	PutBuf(b)
+	return nil
+}
+
+// leakOnFall acquires inside a branch and never settles on the branch
+// that skips the send.
+func leakOnFall(n int) {
+	if tooBig() {
+		b := GetBuf(n) // want `pooled buffer acquired by GetBuf may leak`
+		use(b)
+	}
+}
+
+// releasedEverywhere settles every path: handoff on success, PutBuf on
+// the error arm.
+func releasedEverywhere(p *Packet, n int) error {
+	b := GetBuf(n)
+	if err := work(); err != nil {
+		PutBuf(b)
+		return err
+	}
+	b.Data = p.appendEncode(b.Data[:0])
+	p.wire.Store(b)
+	return nil
+}
+
+// deferredRelease covers every exit with one deferred PutBuf.
+func deferredRelease(n int) error {
+	b := GetBuf(n)
+	defer PutBuf(b)
+	if err := work(); err != nil {
+		return err
+	}
+	use(b)
+	return nil
+}
+
+// returnedToCaller transfers ownership out: the caller releases.
+func returnedToCaller(n int) *Buf {
+	b := GetBuf(n)
+	b.Data = append(b.Data, 1)
+	return b
+}
+
+// useAfterRelease reconstructs the use-after-free: the arena may already
+// have re-handed b's bytes to another goroutine when the read runs.
+func useAfterRelease(n int) byte {
+	b := GetBuf(n)
+	b.Data = append(b.Data, 7)
+	PutBuf(b)
+	return b.Data[0] // want `use of pooled buffer b after PutBuf`
+}
+
+// doubleRelease reconstructs the double-free: the second PutBuf donates
+// a buffer some other holder may be writing through.
+func doubleRelease(n int) {
+	b := GetBuf(n)
+	use(b)
+	PutBuf(b)
+	PutBuf(b) // want `pooled buffer b released twice`
+}
+
+// reacquireResets is legal: the name is rebound to a fresh buffer.
+func reacquireResets(n int) {
+	b := GetBuf(n)
+	PutBuf(b)
+	b = GetBuf(n)
+	use(b)
+	PutBuf(b)
+}
+
+// doubleReleaseEncoded reconstructs the multicast custody bug: the second
+// release gives up a reference this code path no longer owns, destroying
+// a sibling egress queue's hold mid-read.
+func doubleReleaseEncoded(p *Packet) {
+	p.RetainEncoded(1)
+	p.ReleaseEncoded()
+	p.ReleaseEncoded() // want `ReleaseEncoded called twice on p`
+}
+
+// retainBetween is the legal retry shape: every release is paired with
+// its own retain.
+func retainBetween(p *Packet) {
+	p.RetainEncoded(1)
+	p.ReleaseEncoded()
+	p.RetainEncoded(1)
+	p.ReleaseEncoded()
+}
+
+// allowedTransfer shows the audited escape hatch for deliberate custody
+// games the syntactic walk cannot see.
+func allowedTransfer(sink chan *Buf, n int) {
+	b := GetBuf(n) //tbon:allow poolrelease ownership transfers through the channel; the receiver releases
+	sink <- b
+}

@@ -1,0 +1,197 @@
+package poolrelease
+
+import "go/ast"
+
+// This file is the reachability-without-settling walk shared in shape with
+// the creditpair analyzer, parametrized by a settle predicate: it computes
+// where control can go from a statement sequence while the tracked pooled
+// buffer is still unsettled. goto/labels and a deferred settle bail out
+// (analyzed conservatively as safe).
+
+// outcome describes where control can go from a statement sequence while
+// the buffer is still unsettled.
+type outcome struct {
+	fall bool // falls off the end of the sequence
+	ret  bool // reaches a return
+	brk  bool // reaches a break out of the enclosing loop/switch
+	cont bool // reaches a continue of the enclosing loop
+}
+
+func (o outcome) or(p outcome) outcome {
+	return outcome{o.fall || p.fall, o.ret || p.ret, o.brk || p.brk, o.cont || p.cont}
+}
+
+// none means every path settled the buffer.
+var none = outcome{}
+
+// walker evaluates reachability-without-settling over a function body.
+type walker struct {
+	settle func(ast.Node) bool
+	bail   bool // goto/labels/deferred settle: analyze as safe
+}
+
+func (w *walker) stmts(list []ast.Stmt, from int) outcome {
+	acc := none
+	for i := from; i < len(list); i++ {
+		r := w.stmt(list[i])
+		acc.ret = acc.ret || r.ret
+		acc.brk = acc.brk || r.brk
+		acc.cont = acc.cont || r.cont
+		if !r.fall {
+			return acc // no unsettled path continues past this statement
+		}
+	}
+	acc.fall = true
+	return acc
+}
+
+func (w *walker) stmt(s ast.Stmt) outcome {
+	if w.bail {
+		return none
+	}
+	switch st := s.(type) {
+	case nil:
+		return outcome{fall: true}
+	case *ast.ReturnStmt:
+		if w.settle(st) {
+			return none
+		}
+		return outcome{ret: true}
+	case *ast.BranchStmt:
+		if st.Label != nil {
+			w.bail = true
+			return none
+		}
+		switch st.Tok.String() {
+		case "break":
+			return outcome{brk: true}
+		case "continue":
+			return outcome{cont: true}
+		default: // goto, fallthrough
+			w.bail = true
+			return none
+		}
+	case *ast.LabeledStmt:
+		w.bail = true
+		return none
+	case *ast.DeferStmt:
+		if w.settle(st) {
+			w.bail = true // a deferred settle covers every exit
+		}
+		return outcome{fall: true}
+	case *ast.BlockStmt:
+		return w.stmts(st.List, 0)
+	case *ast.IfStmt:
+		if w.settle(st.Init) || w.settle(st.Cond) {
+			return none
+		}
+		r := w.stmt(st.Body)
+		if st.Else != nil {
+			r = r.or(w.stmt(st.Else))
+		} else {
+			r.fall = true
+		}
+		return r
+	case *ast.ForStmt:
+		if w.settle(st.Init) || w.settle(st.Cond) || w.settle(st.Post) {
+			return none
+		}
+		body := w.stmt(st.Body)
+		out := outcome{ret: body.ret}
+		out.fall = st.Cond != nil || body.brk
+		return out
+	case *ast.RangeStmt:
+		if w.settle(st.X) {
+			return none
+		}
+		body := w.stmt(st.Body)
+		return outcome{fall: true, ret: body.ret} // empty range skips the body
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init, tag ast.Node
+		var body *ast.BlockStmt
+		hasDefault := false
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			ts := st.(*ast.TypeSwitchStmt)
+			init, tag, body = ts.Init, ts.Assign, ts.Body
+		}
+		if w.settle(init) || w.settle(tag) {
+			return none
+		}
+		out := none
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			r := w.stmts(cc.Body, 0)
+			out.ret = out.ret || r.ret
+			out.cont = out.cont || r.cont
+			out.fall = out.fall || r.fall || r.brk
+		}
+		if !hasDefault {
+			out.fall = true
+		}
+		return out
+	case *ast.SelectStmt:
+		out := none
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if w.settle(cc.Comm) {
+				continue
+			}
+			r := w.stmts(cc.Body, 0)
+			out.ret = out.ret || r.ret
+			out.cont = out.cont || r.cont
+			out.fall = out.fall || r.fall || r.brk
+		}
+		return out
+	default:
+		if w.settle(s) {
+			return none
+		}
+		return outcome{fall: true}
+	}
+}
+
+// frame is one step of the path from the function body down to the
+// statement holding the acquisition.
+type frame struct {
+	list []ast.Stmt
+	idx  int
+	encl ast.Stmt // the statement the next-inner frame lives in
+}
+
+// findFrames locates the statement containing target and returns the chain
+// of enclosing statement lists, outermost first.
+func findFrames(body *ast.BlockStmt, target ast.Node) []frame {
+	var path []frame
+	var search func(list []ast.Stmt) bool
+	contains := func(s ast.Stmt) bool {
+		return s.Pos() <= target.Pos() && target.End() <= s.End()
+	}
+	search = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if !contains(s) {
+				continue
+			}
+			path = append(path, frame{list: list, idx: i, encl: s})
+			ast.Inspect(s, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BlockStmt); ok && n.Pos() <= target.Pos() && target.End() <= n.End() {
+					for _, inner := range b.List {
+						if contains(inner) {
+							search(b.List)
+							return false
+						}
+					}
+				}
+				return true
+			})
+			return true
+		}
+		return false
+	}
+	search(body.List)
+	return path
+}

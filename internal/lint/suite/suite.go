@@ -10,6 +10,7 @@ import (
 	"repro/internal/lint/creditpair"
 	"repro/internal/lint/ctrlfifo"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/poolrelease"
 	"repro/internal/lint/seqstamp"
 )
 
@@ -21,5 +22,6 @@ func All() []*lint.Analyzer {
 		lockorder.Analyzer,
 		seqstamp.Analyzer,
 		ctrlfifo.Analyzer,
+		poolrelease.Analyzer,
 	}
 }

@@ -54,25 +54,36 @@ func WireEncodes() int64 { return wireEncodes.Load() }
 // EncodedBytes returns the packet's wire encoding, serializing at most once
 // no matter how many links, frames, or goroutines ask: the fan-out of a
 // multicast shares one buffer. The returned slice is shared and must not
-// be modified.
+// be modified. When the packet has encoded-body holds outstanding
+// (RetainEncoded) the body is taken from the arena and returned to it by
+// the final ReleaseEncoded; such callers must keep a hold across the read.
 func (p *Packet) EncodedBytes() []byte {
 	if b := p.wire.Load(); b != nil {
-		return *b
+		return b.Data
 	}
 	p.encMu.Lock()
 	defer p.encMu.Unlock()
 	if b := p.wire.Load(); b != nil {
-		return *b
+		return b.Data
 	}
-	b := p.Encode()
-	p.wire.Store(&b)
-	return b
+	var buf *Buf
+	if p.wireRefs.Load() > 0 {
+		// Tracked packet: pool the body; storing it as the wire cache is
+		// the ownership handoff, ReleaseEncoded the matching release.
+		buf = GetBuf(p.EncodedSize())
+	} else {
+		buf = &Buf{Data: make([]byte, 0, p.EncodedSize()), class: -1}
+	}
+	wireEncodes.Add(1)
+	buf.Data = p.appendEncode(buf.Data[:0])
+	p.wire.Store(buf)
+	return buf.Data
 }
 
 // EncodedSize returns the exact number of bytes Encode will produce.
 func (p *Packet) EncodedSize() int {
 	if b := p.wire.Load(); b != nil {
-		return len(*b)
+		return len(b.Data)
 	}
 	n := 2 + 1 + 4 + 4 + 4 + 8 + 2 + len(p.Format)
 	for i, d := range p.dirs {
@@ -101,11 +112,18 @@ func (p *Packet) EncodedSize() int {
 }
 
 // Encode serializes the packet to its binary wire form. Every call performs
-// a full serialization pass; hot paths should prefer EncodedBytes, which
-// caches the result on the packet.
+// a full serialization pass into a fresh allocation; hot paths should
+// prefer EncodedBytes, which caches the result on the packet.
 func (p *Packet) Encode() []byte {
 	wireEncodes.Add(1)
-	buf := make([]byte, 0, p.EncodedSize())
+	return p.appendEncode(make([]byte, 0, p.EncodedSize()))
+}
+
+// appendEncode appends the packet's wire form to buf and returns it —
+// the single serialization pass shared by Encode (fresh allocation) and
+// EncodedBytes (cached, possibly arena-backed). Callers count the pass
+// via wireEncodes themselves.
+func (p *Packet) appendEncode(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
 	buf = append(buf, wireVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Tag))

@@ -49,14 +49,21 @@ func EncodedFrameSize(ps []*Packet) int {
 // cache (EncodedBytes), so a packet fanned out into k frames — a TCP
 // multicast — is serialized once and copied k times, never re-encoded.
 func EncodeFrame(ps []*Packet) []byte {
-	buf := make([]byte, 0, EncodedFrameSize(ps))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ps)))
+	return AppendFrame(make([]byte, 0, EncodedFrameSize(ps)), ps)
+}
+
+// AppendFrame appends the frame body for ps to dst and returns it — the
+// allocation-free form of EncodeFrame for callers that keep a reusable
+// scratch buffer (the TCP link's frame writer). dst should have
+// EncodedFrameSize(ps) spare capacity to avoid growth.
+func AppendFrame(dst []byte, ps []*Packet) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ps)))
 	for _, p := range ps {
 		enc := p.EncodedBytes()
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
-		buf = append(buf, enc...)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
+		dst = append(dst, enc...)
 	}
-	return buf
+	return dst
 }
 
 // DecodeFrame parses a frame body produced by EncodeFrame. Each packet's

@@ -186,8 +186,60 @@ type Packet struct {
 	// same packet on k outgoing links encodes it once; all frames share the
 	// buffer (see EncodedBytes). encMu serializes the one slow-path encode.
 	// Both make Packet non-copyable — header restamps go through restamp.
-	wire  atomic.Pointer[[]byte]
-	encMu sync.Mutex
+	//
+	// When wireRefs is positive at encode time the cache body comes from
+	// the arena (GetBuf) and is returned to it (PutBuf) by the final
+	// ReleaseEncoded; with no holders the body is a plain allocation the
+	// GC reclaims, so code that never touches the custody API keeps its
+	// old semantics.
+	wire     atomic.Pointer[Buf]
+	wireRefs atomic.Int32
+	encMu    sync.Mutex
+}
+
+// RetainEncoded adds n holds on the packet's encoded body. While at least
+// one hold is outstanding the encode body may come from the arena, and
+// holders must keep their hold across any read of EncodedBytes — the final
+// ReleaseEncoded recycles the buffer, after which its bytes belong to the
+// next arena taker. The egress custody protocol in internal/core is the
+// canonical caller: enqueue retains, the flush (or the replay-ring
+// retirement under exactly-once) releases.
+func (p *Packet) RetainEncoded(n int32) { p.wireRefs.Add(n) }
+
+// ReleaseEncoded drops one hold, returning the cached encode body to the
+// arena when the last hold goes. It reports whether this call was the
+// final release. Releasing with no holds outstanding is a no-op returning
+// false — that makes the double-release that an ack-during-replay
+// re-append could otherwise produce harmless: the second custody chain
+// finds the count already at zero and recycles nothing.
+func (p *Packet) ReleaseEncoded() bool {
+	for {
+		v := p.wireRefs.Load()
+		if v <= 0 {
+			return false
+		}
+		if p.wireRefs.CompareAndSwap(v, v-1) {
+			if v == 1 {
+				p.recycleWire()
+				return true
+			}
+			return false
+		}
+	}
+}
+
+// EncodedRefs returns the current number of encoded-body holds (for tests
+// and metrics).
+func (p *Packet) EncodedRefs() int32 { return p.wireRefs.Load() }
+
+// recycleWire drops the wire cache and returns a pooled body to the
+// arena. Safe against concurrent encodes: an encode racing past the swap
+// stores a fresh buffer that simply retires to the GC (nobody holds a
+// reference that would recycle it).
+func (p *Packet) recycleWire() {
+	if b := p.wire.Swap(nil); b != nil {
+		PutBuf(b)
+	}
 }
 
 // New constructs a packet, validating the values against the format string.
@@ -405,9 +457,12 @@ func (p *Packet) check(i int, want Directive) error {
 	return nil
 }
 
-// restamp returns a header-mutable copy sharing the payload. The wire
-// cache is deliberately NOT carried over: a restamped header encodes to
-// different bytes (and Packet's cache fields make the struct non-copyable).
+// restamp returns a header-mutable copy sharing the payload — dirs and
+// values alias the original's backing arrays, which is safe because
+// packets are immutable once constructed (see TestRestampSharesValues).
+// The wire cache and its holds are deliberately NOT carried over: a
+// restamped header encodes to different bytes, and the copy starts
+// untracked (and Packet's cache fields make the struct non-copyable).
 func (p *Packet) restamp() *Packet {
 	return &Packet{
 		Tag:      p.Tag,

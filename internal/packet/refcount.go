@@ -23,10 +23,16 @@ type Ref struct {
 	onRelease func()
 }
 
-// NewRef wraps p in a reference with an initial count of 1.
+// NewRef wraps p in a reference with an initial count of 1. The reference
+// takes one encoded-body hold on the packet, and its default release hook
+// returns the cached encode body to the arena when the final reference is
+// dropped — a k-child multicast that shares one Ref gives the body back
+// exactly once, when the last child link has flushed it.
 func NewRef(p *Packet) *Ref {
 	r := &Ref{p: p}
 	r.refs.Store(1)
+	p.RetainEncoded(1)
+	r.onRelease = func() { p.ReleaseEncoded() }
 	return r
 }
 
@@ -62,8 +68,11 @@ func (r *Ref) Release() bool {
 // Count returns the current reference count (for tests and metrics).
 func (r *Ref) Count() int32 { return r.refs.Load() }
 
-// SetOnRelease installs a hook invoked when the final reference is dropped.
-// It must be called before the reference is shared.
+// SetOnRelease installs a hook invoked when the final reference is
+// dropped, replacing the default return-to-pool hook (the encoded-body
+// hold NewRef took then stays outstanding, which merely keeps that one
+// buffer out of the arena). It must be called before the reference is
+// shared.
 func (r *Ref) SetOnRelease(f func()) { r.onRelease = f }
 
 // Encoded returns the packet's wire encoding, computing it at most once no

@@ -113,6 +113,10 @@ func (l *Link) RecvBatch() ([]*packet.Packet, error) {
 	return transport.RecvBatch(l.Link)
 }
 
+// BatchCopies delegates the send-side ownership question to the wrapped
+// link: the cost model charges time but never buffers batches.
+func (l *Link) BatchCopies() bool { return transport.BatchCopies(l.Link) }
+
 func (l *Link) charge(d time.Duration) {
 	if l.Clock != nil {
 		l.Clock.Advance(d)

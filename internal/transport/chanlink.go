@@ -95,6 +95,11 @@ func (l *chanLink) SendBatch(ps []*packet.Packet) error {
 	return l.sendFrame(chanFrame{ps: ps})
 }
 
+// BatchCopies reports false: SendBatch passes the slice itself through
+// the channel, so the receiver shares the sender's backing array and the
+// sender must never reuse it (the aliasing class batchalias polices).
+func (l *chanLink) BatchCopies() bool { return false }
+
 func (l *chanLink) sendFrame(f chanFrame) error {
 	// Fast-path check so a closed link fails even if buffer space remains.
 	select {

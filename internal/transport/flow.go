@@ -382,6 +382,10 @@ func (f *FlowLink) SendBatch(ps []*packet.Packet) error {
 	return SendBatch(f.Link, ps)
 }
 
+// BatchCopies delegates the ownership question to the wrapped link: the
+// flow wrapper adds bookkeeping, not buffering.
+func (f *FlowLink) BatchCopies() bool { return BatchCopies(f.Link) }
+
 // Close closes the wrapped link and releases blocked senders.
 func (f *FlowLink) Close() error {
 	f.Abort()

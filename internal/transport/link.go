@@ -78,6 +78,27 @@ func RecvBatch(l Link) ([]*packet.Packet, error) {
 	return []*packet.Packet{p}, nil
 }
 
+// BatchCopier is implemented by links that can answer for their send-side
+// ownership discipline: BatchCopies reports whether SendBatch copies
+// everything it needs (the packets' encoded bytes onto the wire) before
+// returning, leaving the slice free for the caller to reuse. The TCP
+// transport copies; the in-process transport retains the slice (it IS the
+// channel transfer). The egress flusher uses this to recycle its take
+// buffer across flushes on copying links — links that don't implement the
+// interface are conservatively treated as retaining.
+type BatchCopier interface {
+	BatchCopies() bool
+}
+
+// BatchCopies reports whether l's SendBatch copies the batch before
+// returning (see BatchCopier). Unknown links are assumed to retain.
+func BatchCopies(l Link) bool {
+	if c, ok := l.(BatchCopier); ok {
+		return c.BatchCopies()
+	}
+	return false
+}
+
 // Dropper is implemented by links that can model a process crash: Drop
 // severs the link abruptly, discarding any packets still in flight, so the
 // peer observes an unexpected EOF rather than a graceful drain. Fault

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// WriterLink is a send-only Link that writes wire frames to an io.Writer
+// using the same persistent frame-assembly scratch as the TCP transport.
+// It exists for the allocation benchmarks and the zeroalloc experiment:
+// pointed at io.Discard it drives the full encode-and-frame egress path at
+// memory speed, isolating the data plane's own allocation behavior from
+// socket costs. Recv blocks until Close and then reports io.EOF, so a
+// WriterLink can sit under a FlowLink like any other link.
+type WriterLink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	scratch []byte
+	one     [1]*packet.Packet // reused single-packet batch for Send
+	closed  bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewWriterLink wraps w as a send-only link.
+func NewWriterLink(w io.Writer) *WriterLink {
+	return &WriterLink{w: w, done: make(chan struct{})}
+}
+
+// Send writes p as a one-packet frame.
+func (l *WriterLink) Send(p *packet.Packet) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.one[0] = p
+	err := l.writeLocked(l.one[:])
+	l.one[0] = nil
+	return err
+}
+
+// SendBatch writes the whole batch as one frame. The batch is fully
+// copied to the writer before return (see BatchCopies).
+func (l *WriterLink) SendBatch(ps []*packet.Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(ps)
+}
+
+func (l *WriterLink) writeLocked(ps []*packet.Packet) error {
+	if l.closed {
+		return ErrClosed
+	}
+	var buf []byte
+	buf, l.scratch = appendWireFrame(l.scratch, ps)
+	_, err := l.w.Write(buf)
+	return err
+}
+
+// Recv blocks until the link closes; a WriterLink carries no inbound
+// traffic.
+func (l *WriterLink) Recv() (*packet.Packet, error) {
+	<-l.done
+	return nil, io.EOF
+}
+
+// RecvBatch blocks until the link closes, like Recv.
+func (l *WriterLink) RecvBatch() ([]*packet.Packet, error) {
+	<-l.done
+	return nil, io.EOF
+}
+
+// BatchCopies reports true: frames are handed to the writer before
+// SendBatch returns and nothing is retained.
+func (l *WriterLink) BatchCopies() bool { return true }
+
+// Close marks the link closed; subsequent sends fail with ErrClosed and
+// blocked Recvs return io.EOF.
+func (l *WriterLink) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.doneOnce.Do(func() { close(l.done) })
+	return nil
+}
