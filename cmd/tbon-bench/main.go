@@ -17,6 +17,7 @@
 //	tbon-bench -exp multitenant   # session fabric: N tenants over one overlay
 //	tbon-bench -exp exactlyonce   # ablation: exactly-once recovery vs lossy adoption
 //	tbon-bench -exp zeroalloc     # ablation: packet-arena pooling on vs off
+//	tbon-bench -exp elastic       # ablation: elastic topology mutation under skew
 //	tbon-bench -exp all           # everything
 //
 // Sizes are configurable; defaults reproduce the paper's scales. With
@@ -43,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|multitenant|exactlyonce|zeroalloc|all")
+	exp := flag.String("exp", "all", "experiment: fig4|startup|throughput|overhead|sgfa|fanout|sync|transport|recovery|batching|flowcontrol|multitenant|exactlyonce|zeroalloc|elastic|all")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (an array of {experiment, rows} envelopes) instead of tables; record as BENCH_*.json to track the perf trajectory")
 	scales := flag.String("scales", "", "comma-separated fig4 scales (default 16,32,48,64,128,256,324)")
 	points := flag.Int("points", 0, "fig4 raw samples per cluster per leaf (default 120)")
@@ -57,6 +58,8 @@ func main() {
 	mtOps := flag.Int("mt-ops", 0, "multitenant operations per tenant (default 24)")
 	eoPerBE := flag.Int("eo-perbe", 0, "exactlyonce ids per back-end (default 80)")
 	eoSeeds := flag.Int("eo-seeds", 0, "exactlyonce seeded schedules per mode (default 5)")
+	elHotQuota := flag.Int("el-hotquota", 0, "elastic ablation packets per hot leaf (default 4000)")
+	elWindow := flag.Int("el-window", 0, "elastic ablation credit window (default 4)")
 	zaBatch := flag.Int("za-batch", 0, "zeroalloc packets per flush (default 32)")
 	zaPayload := flag.Int("za-payload", 0, "zeroalloc payload bytes per packet (default 1024)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -292,6 +295,21 @@ func main() {
 			return nil, "", err
 		}
 		return rows, table(func() string { return experiments.ZeroAllocTable(cfg, rows) }), nil
+	})
+
+	run("elastic", func() (any, string, error) {
+		cfg := experiments.DefaultElasticConfig()
+		if *elHotQuota > 0 {
+			cfg.HotQuota = *elHotQuota
+		}
+		if *elWindow > 0 {
+			cfg.Window = *elWindow
+		}
+		rows, err := experiments.RunElastic(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, table(func() string { return experiments.ElasticTable(cfg, rows) }), nil
 	})
 
 	if *jsonOut {

@@ -1,37 +1,83 @@
-// Elastic overlay: the paper's dynamic topology model in action. A
-// monitoring overlay starts with 8 hosts; 8 more join while it runs
-// (AttachBackEnd), and each subsequent collection round is a fresh stream
-// over whatever back-ends currently exist — the count at the front-end
-// grows as the fleet does.
+// Elastic overlay: load-driven tree mutation in action (DESIGN.md §13).
+// A 4-router overlay takes a badly skewed workload — every leaf under
+// router 1 streams hot while the rest trickle — with the elastic
+// controller watching the per-process load reports. The controller sees
+// router 1's heat score pull away from the mean, splits it, and reparents
+// half its children onto the new sibling; the program prints the tree
+// shape before and after and asserts the hot router's children really
+// were redistributed.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/topology"
 )
 
+// printShape lists every live internal process with its current children.
+func printShape(nw *core.Network, label string) {
+	internals := nw.LiveInternal()
+	sort.Slice(internals, func(i, j int) bool { return internals[i] < internals[j] })
+	fmt.Printf("%s:\n", label)
+	for _, r := range internals {
+		kids := nw.LiveChildren(r)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		fmt.Printf("  router %2d -> %v\n", r, kids)
+	}
+}
+
 func main() {
-	// Start with 2 communication processes and 2 hosts under each.
-	tree, err := topology.ParseSpec("kary:2^2")
+	tree, err := topology.ParseSpec("kary:4^2")
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The hot subtree is everything under router 1 in the initial shape.
+	hot := map[core.Rank]bool{}
+	for _, l := range tree.Leaves() {
+		if tree.Parent(l) == 1 {
+			hot[l] = true
+		}
+	}
 
 	nw, err := core.NewNetwork(core.Config{
-		Topology: tree,
+		Topology:         tree,
+		Recoverable:      true, // splits migrate children over the reparent protocol
+		LoadReportPeriod: 20 * time.Millisecond,
 		OnBackEnd: func(be *core.BackEnd) error {
+			p, err := be.Recv()
+			if err != nil {
+				return nil
+			}
+			// Recv erroring is how a sender learns of shutdown; watch for
+			// it while the send loop streams.
+			down := make(chan struct{})
+			go func() {
+				for {
+					if _, err := be.Recv(); err != nil {
+						close(down)
+						return
+					}
+				}
+			}()
+			pace := 20 * time.Millisecond // cold trickle
+			if hot[be.Rank()] {
+				pace = 200 * time.Microsecond // hot stream, ~100x the trickle
+			}
 			for {
-				p, err := be.Recv()
-				if err != nil {
+				select {
+				case <-down:
+					return nil
+				default:
+				}
+				if err := be.Send(p.StreamID, p.Tag, "%d", int64(be.Rank())); err != nil {
 					return nil
 				}
-				if err := be.Send(p.StreamID, p.Tag, "%f", 1.0); err != nil {
-					return nil
-				}
+				time.Sleep(pace)
 			}
 		},
 	})
@@ -40,38 +86,55 @@ func main() {
 	}
 	defer nw.Shutdown()
 
-	collect := func() int64 {
-		st, err := nw.NewStream(core.StreamSpec{
-			Transformation:  "count",
-			Synchronization: "waitforall",
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer st.Close()
-		if err := st.Multicast(core.TagFirstApplication, ""); err != nil {
-			log.Fatal(err)
-		}
-		p, err := st.RecvTimeout(10 * time.Second)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, _ := p.Int(0)
-		return n
+	printShape(nw, "before skewed load")
+	hotBefore := len(nw.LiveChildren(1))
+
+	ctl := elastic.New(elastic.Config{
+		Network:    nw,
+		Period:     50 * time.Millisecond,
+		Cooldown:   200 * time.Millisecond,
+		SplitAbove: 1.5,
+		MergeBelow: -1, // split-only: the skew never reverses in this demo
+		MinQueued:  -1, // no flow control here, so heat alone decides
+		OnMutation: func(m elastic.Mutation) {
+			fmt.Printf("mutation: %s of router %d (heat %.2f) -> sibling %d\n",
+				m.Kind, m.Target, m.Heat, m.Sibling)
+		},
+	})
+	ctl.Start()
+	defer ctl.Stop()
+
+	st, err := nw.NewStream(core.StreamSpec{Transformation: "null", Synchronization: "nullsync"})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	fmt.Printf("round 0: %d hosts reporting\n", collect())
-
-	// The fleet grows: attach 2 new hosts under each communication process.
-	for round := 1; round <= 4; round++ {
-		for _, comm := range []core.Rank{1, 2} {
-			if _, err := nw.AttachBackEnd(comm); err != nil {
-				log.Fatal(err)
+	if err := st.Multicast(core.TagFirstApplication, ""); err != nil {
+		log.Fatal(err)
+	}
+	go func() { // drain the front-end so credits keep flowing
+		for {
+			if _, err := st.Recv(); err != nil {
+				return
 			}
 		}
-		fmt.Printf("round %d: %d hosts reporting (+2 attached)\n", round, collect())
+	}()
+
+	time.Sleep(2 * time.Second)
+	printShape(nw, "after skewed load")
+
+	var splits int
+	for _, m := range ctl.Mutations() {
+		if m.Kind == "split" {
+			splits++
+		}
 	}
-	s := nw.Tree().Stats()
-	fmt.Printf("final topology: %d processes, %d back-ends, depth %d\n",
-		s.Nodes, s.Leaves, s.Depth)
+	hotAfter := len(nw.LiveChildren(1))
+	if splits == 0 {
+		log.Fatal("controller never split the hot router")
+	}
+	if hotAfter >= hotBefore {
+		log.Fatalf("hot router kept all %d children (was %d): no redistribution", hotAfter, hotBefore)
+	}
+	fmt.Printf("ok: %d split(s); hot router went from %d to %d children\n",
+		splits, hotBefore, hotAfter)
 }

@@ -294,7 +294,7 @@ loop:
 						// Repoint the egress queue and re-flush anything
 						// retained across the dead parent: accepted
 						// packets survive the failure.
-						be.eg.setLink(l)
+						be.eg.setLink(l) //tbon:allow mutationquiesce back-ends have no shard pool; this goroutine is the sole egress user
 					}
 					continue
 				case <-be.nw.dying:

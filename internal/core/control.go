@@ -16,6 +16,7 @@ const (
 	opOpenSession  int64 = 5 // announce a tenant session's stream-id namespace
 	opCloseSession int64 = 6 // tear down every stream of a namespace, non-quiescing
 	opCheckpoint   int64 = 7 // filter-state checkpoint, cached at potential adopters
+	opLoadReport   int64 = 8 // per-node pressure sample, flowing upstream to the front-end
 )
 
 // ckptHops is how many levels upstream a checkpoint travels: a node's
@@ -40,6 +41,9 @@ const (
 	ctrlCloseSessionFormat = "%d %d"
 	// op, origin rank, streamID, hops remaining, opaque filter-state blob
 	ctrlCheckpointFormat = "%d %d %d %d %ac"
+	// op, origin rank, cumulative upstream packets routed, parent-egress
+	// queue depth, cumulative credit stalls
+	ctrlLoadReportFormat = "%d %d %d %d %d"
 )
 
 // newStreamPacket encodes an opNewStream control message. prio is the
@@ -73,6 +77,34 @@ func parseHeartbeat(p *packet.Packet) (Rank, error) {
 		return 0, err
 	}
 	return Rank(origin), nil
+}
+
+// loadReportPacket encodes an opLoadReport control message: origin's
+// cumulative count of upstream data packets routed, its parent-egress
+// queue depth at sample time, and its cumulative credit-stall count. The
+// counters are cumulative so the front-end can rate-normalize by delta
+// regardless of how many reports a congested path drops.
+func loadReportPacket(origin Rank, upPkts, queued, stalls int64) *packet.Packet {
+	return packet.MustNew(packet.TagControl, 0, origin, ctrlLoadReportFormat,
+		opLoadReport, int64(origin), upPkts, queued, stalls)
+}
+
+// parseLoadReport decodes an opLoadReport control message.
+func parseLoadReport(p *packet.Packet) (origin Rank, upPkts, queued, stalls int64, err error) {
+	rawOrigin, err := p.Int(1)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if upPkts, err = p.Int(2); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if queued, err = p.Int(3); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if stalls, err = p.Int(4); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return Rank(rawOrigin), upPkts, queued, stalls, nil
 }
 
 // ctrlOp extracts the operation code from a control packet.

@@ -115,6 +115,13 @@ type Config struct {
 	// periodic liveness beacons that relay to the front-end, feeding the
 	// failure detector in internal/recovery.
 	HeartbeatPeriod time.Duration
+	// LoadReportPeriod, when positive, makes every internal communication
+	// process emit periodic opLoadReport control packets — cumulative
+	// upstream packet counts, parent-egress queue depth, credit stalls —
+	// that relay order-free to the front-end, where LoadReports exposes
+	// them. internal/elastic rate-normalizes the samples into per-subtree
+	// heat scores and drives live tree mutation (SplitNode / MergeNode).
+	LoadReportPeriod time.Duration
 	// ExactlyOnce upgrades recovery from lossy rewiring to exactly-once
 	// upstream delivery (DESIGN.md §10): senders stamp per-origin sequence
 	// numbers and keep flushed-but-unacknowledged packets in a replay ring
@@ -173,6 +180,16 @@ type Metrics struct {
 	PacketsReplayed     atomic.Int64 // ring packets re-flushed after a reparent
 	DupsDropped         atomic.Int64 // replay duplicates dropped by receivers
 	CheckpointsTaken    atomic.Int64 // per-node filter-state checkpoint rounds
+
+	// Elastic-topology observability.
+	LoadReportsSent     atomic.Int64 // opLoadReport samples emitted by internal nodes
+	LoadReportsSeen     atomic.Int64 // samples observed at the front-end
+	TopologyMutations   atomic.Int64 // live tree mutations applied (splits + merges)
+	NodesSplit          atomic.Int64 // saturated nodes split into a sibling pair
+	NodesMerged         atomic.Int64 // cold nodes merged away into their parent
+	HeatScoreMilli      atomic.Int64 // hottest heat score last computed, x1000 (gauge)
+	PlacementsLoadAware atomic.Int64 // PlaceBackEnd choices driven by heat scores
+	PlacementsFirstFit  atomic.Int64 // PlaceBackEnd fallbacks to first-fit (stale/no scores)
 }
 
 // Network is a running TBON instance. The front-end API (NewStream,
@@ -211,6 +228,11 @@ type Network struct {
 
 	hbMu   sync.Mutex
 	lastHB map[Rank]time.Time
+
+	// loadMu guards the front-end's record of the latest opLoadReport
+	// sample per internal rank (LoadReports).
+	loadMu  sync.Mutex
+	loadRep map[Rank]LoadSample
 
 	// ckptMu guards the front-end's cache of descendants' filter-state
 	// checkpoints (rank -> stream -> blob), folded into adoption
@@ -354,6 +376,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 			if cfg.HeartbeatPeriod > 0 {
 				go nw.heartbeatLoop(Rank(r), n.parentLink, n.killCh)
 			}
+			if cfg.LoadReportPeriod > 0 {
+				go nw.loadReportLoop(n)
+			}
 		}
 	}
 
@@ -437,6 +462,14 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"packets_replayed":       m.PacketsReplayed.Load(),
 		"dups_dropped":           m.DupsDropped.Load(),
 		"checkpoints_taken":      m.CheckpointsTaken.Load(),
+		"load_reports_sent":      m.LoadReportsSent.Load(),
+		"load_reports_seen":      m.LoadReportsSeen.Load(),
+		"topology_mutations":     m.TopologyMutations.Load(),
+		"nodes_split":            m.NodesSplit.Load(),
+		"nodes_merged":           m.NodesMerged.Load(),
+		"heat_score_milli":       m.HeatScoreMilli.Load(),
+		"placements_load_aware":  m.PlacementsLoadAware.Load(),
+		"placements_first_fit":   m.PlacementsFirstFit.Load(),
 	}
 }
 

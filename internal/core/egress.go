@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -202,6 +203,11 @@ type egressQueue struct {
 	// flush that sends it moves it into the ring.
 	meta   map[*packet.Packet]*pendRetire
 	ringHW int
+
+	// stallCt counts this queue's credit stalls cumulatively (the global
+	// CreditStalls counter aggregates across queues); it feeds the per-node
+	// load reports, so it is atomic — the sampler reads it off-goroutine.
+	stallCt atomic.Int64
 }
 
 // kickFunc returns a non-blocking notifier for ch — the egress queues'
@@ -772,8 +778,18 @@ func releaseEncoded(ps []*packet.Packet) {
 func (q *egressQueue) noteStallLocked() {
 	if !q.stalled {
 		q.stalled = true
+		q.stallCt.Add(1)
 		q.m.CreditStalls.Add(1)
 	}
+}
+
+// stalls reports the queue's cumulative credit-stall count; safe for any
+// goroutine (load-report sampling).
+func (q *egressQueue) stalls() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.stallCt.Load()
 }
 
 // grantLandedLocked probes for a grant that arrived between take()'s

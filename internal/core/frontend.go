@@ -295,8 +295,8 @@ func (fe *feState) handleAdopt(c *cmdAdopt, inbox chan inMsg) int {
 // routing slices just widen. Returns the number of new live child links.
 func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
 	states := fe.snapshotStates()
-	fe.adoptSeq.Add(1) // odd: rewiring in progress
-	fe.installChild(a.slot, a.link)
+	fe.adoptSeq.Add(1)              // odd: rewiring in progress
+	fe.installChild(a.slot, a.link) //tbon:allow mutationquiesce adoptSeq is odd: readers retry, and the new link carries no traffic yet
 	for _, ss := range states {
 		ss.growSlots(a.slot + 1)
 	}
@@ -312,12 +312,19 @@ func (fe *feState) handleAttach(a attachMsg, inbox chan inMsg) int {
 }
 
 // handleOrderFree processes one control-lane packet at the root: beacons
-// feed the failure detector.
+// feed the failure detector, load reports feed the elastic controller.
 func (fe *feState) handleOrderFree(p *packet.Packet) {
-	if op, err := ctrlOp(p); err == nil && op == opHeartbeat {
+	op, err := ctrlOp(p)
+	if err != nil {
+		return
+	}
+	switch op {
+	case opHeartbeat:
 		if origin, err := parseHeartbeat(p); err == nil {
 			fe.nw.noteHeartbeat(origin)
 		}
+	case opLoadReport:
+		fe.nw.noteLoadReport(p)
 	}
 }
 

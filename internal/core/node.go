@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -105,6 +106,16 @@ type node struct {
 	ackr     *acker
 	ckpts    map[Rank]map[uint32][]byte
 	reroute  []*packet.Packet
+
+	// Elastic-topology load sampling (Config.LoadReportPeriod). upCount is
+	// the cumulative upstream data packets this router has dispatched (one
+	// atomic add per run, beside the global counter); outRef publishes the
+	// parent egress queue to the load-report goroutine, which samples its
+	// depth and stall count — the pointer is written once by run before any
+	// traffic flows and never reassigned (reparenting swaps the queue's
+	// link, not the queue).
+	upCount atomic.Int64
+	outRef  atomic.Pointer[egressQueue]
 }
 
 // run executes the communication-process router loop: route downstream
@@ -138,6 +149,7 @@ func (n *node) run() {
 	kick := kickFunc(n.egKick)
 	n.parentOut = newEgressQueue(n.ep.Parent, pol, &n.nw.metrics, n.nw.recoverable(), kick)
 	n.parentOut.bindStops(n.killCh, n.nw.dying)
+	n.outRef.Store(n.parentOut)
 	if n.nw.xonce() {
 		n.ackTrack = map[*transport.FlowLink]*inOrder{}
 		n.ackr = newAcker(&n.nw.metrics)
@@ -342,14 +354,14 @@ func (n *node) addChild(a attachMsg, inbox chan inMsg) {
 const ctrlLaneDepth = 256
 
 // orderFreeControl reports whether p is control traffic with no data-plane
-// ordering semantics (today: heartbeat beacons). Such packets ride the
-// ingress control lane, bypassing the data inbox entirely.
+// ordering semantics (heartbeat beacons and load reports). Such packets
+// ride the ingress control lane, bypassing the data inbox entirely.
 func orderFreeControl(p *packet.Packet) bool {
 	if p.Tag != packet.TagControl {
 		return false
 	}
 	op, err := ctrlOp(p)
-	return err == nil && op == opHeartbeat
+	return err == nil && (op == opHeartbeat || op == opLoadReport)
 }
 
 // splitOrderFree diverts order-free control packets in ps to the control
@@ -451,13 +463,13 @@ func (n *node) quiesceShards(fn func()) {
 }
 
 // handleOrderFree processes one control-lane packet on the router:
-// heartbeat beacons relay toward the front-end with flush-through (their
-// detection latency compounds per level, and they carry no ordering
-// semantics, so jumping ahead of shard-pending or credit-stalled data is
-// safe). An orphan drops the relay — the dead parent link would have
-// dropped it anyway.
+// heartbeat beacons and load reports relay toward the front-end with
+// flush-through (their latency compounds per level, and they carry no
+// ordering semantics, so jumping ahead of shard-pending or credit-stalled
+// data is safe). An orphan drops the relay — the dead parent link would
+// have dropped it anyway.
 func (n *node) handleOrderFree(p *packet.Packet) {
-	if op, err := ctrlOp(p); err == nil && op == opHeartbeat && !n.orphaned {
+	if op, err := ctrlOp(p); err == nil && (op == opHeartbeat || op == opLoadReport) && !n.orphaned {
 		_ = n.parentOut.sendNow(p)
 	}
 }
@@ -703,6 +715,7 @@ func (n *node) handleFromChild(child int, ps []*packet.Packet) bool {
 		run := ps[i:j]
 		i = j
 		n.nw.metrics.PacketsUp.Add(int64(len(run)))
+		n.upCount.Add(int64(len(run)))
 		tr, start := n.assignArrival(src, len(run))
 		ss, ok := n.streams[p.StreamID]
 		if !ok {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPlaceBackEndLeastLoaded: with fresh heat scores the new back-end
+// lands under the coldest internal process, not the first-fit one.
+func TestPlaceBackEndLeastLoaded(t *testing.T) {
+	nw := splitEcho(t, "kary:2^2", 0) // internals 1,2
+	defer nw.Shutdown()
+	pl := Placement{
+		Scores:   map[Rank]float64{1: 5.0, 2: 1.0},
+		ScoresAt: time.Now(),
+	}
+	r, err := nw.PlaceBackEnd(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r); got != 2 {
+		t.Errorf("placed under %d, want 2 (coldest)", got)
+	}
+	if nw.Metrics().PlacementsLoadAware.Load() != 1 {
+		t.Error("load-aware placement not counted")
+	}
+	// A rank absent from the scores counts as coldest of all.
+	pl.Scores = map[Rank]float64{2: 0.5}
+	r2, err := nw.PlaceBackEnd(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r2); got != 1 {
+		t.Errorf("placed under %d, want 1 (unscored = coldest)", got)
+	}
+}
+
+// TestPlaceBackEndFanOutCap: a parent at the cap is skipped even when it
+// is the coldest, and a fully capped tree yields ErrNoEligibleParent.
+func TestPlaceBackEndFanOutCap(t *testing.T) {
+	nw := splitEcho(t, "kary:2^2", 0) // internals 1,2 with 2 leaves each
+	defer nw.Shutdown()
+	pl := Placement{
+		Scores:    map[Rank]float64{1: 0.1, 2: 9.0},
+		ScoresAt:  time.Now(),
+		MaxFanOut: 3,
+	}
+	r, err := nw.PlaceBackEnd(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r); got != 1 {
+		t.Errorf("placed under %d, want 1", got)
+	}
+	// Rank 1 is now at the cap; the hot rank 2 is the only candidate left.
+	r2, err := nw.PlaceBackEnd(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r2); got != 2 {
+		t.Errorf("placed under %d, want 2 (1 is at cap)", got)
+	}
+	// Both at the cap: typed failure.
+	if _, err := nw.PlaceBackEnd(pl); !errors.Is(err, ErrNoEligibleParent) {
+		t.Errorf("full tree: %v, want ErrNoEligibleParent", err)
+	}
+}
+
+// TestPlaceBackEndStaleScoresFirstFit: scores older than the staleness
+// bound degrade to first-fit (lowest eligible rank) instead of trusting a
+// snapshot of a load pattern that may have inverted since.
+func TestPlaceBackEndStaleScoresFirstFit(t *testing.T) {
+	nw := splitEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	pl := Placement{
+		Scores:    map[Rank]float64{1: 9.0, 2: 0.1}, // would pick 2 if fresh
+		ScoresAt:  time.Now().Add(-time.Minute),
+		Staleness: time.Second,
+	}
+	r, err := nw.PlaceBackEnd(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r); got != 1 {
+		t.Errorf("placed under %d, want 1 (first-fit on stale scores)", got)
+	}
+	if nw.Metrics().PlacementsFirstFit.Load() != 1 {
+		t.Error("first-fit placement not counted")
+	}
+	// Nil scores degrade the same way.
+	r2, err := nw.PlaceBackEnd(Placement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r2); got != 1 {
+		t.Errorf("placed under %d, want 1 (first-fit with no scores)", got)
+	}
+	if nw.Metrics().PlacementsFirstFit.Load() != 2 {
+		t.Error("second first-fit placement not counted")
+	}
+}
+
+// TestPlaceBackEndFlatTree: with no internal processes the front-end is
+// the only eligible parent, matching AttachBackEnd's flat-tree rule.
+func TestPlaceBackEndFlatTree(t *testing.T) {
+	tree := mustTree(t, "flat:2")
+	nw := echoValue(t, tree, ChanTransport)
+	defer nw.Shutdown()
+	r, err := nw.PlaceBackEnd(Placement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r); got != 0 {
+		t.Errorf("placed under %d, want 0 (front-end on flat tree)", got)
+	}
+	if _, err := nw.PlaceBackEnd(Placement{MaxFanOut: 3}); !errors.Is(err, ErrNoEligibleParent) {
+		t.Errorf("capped flat tree: %v, want ErrNoEligibleParent", err)
+	}
+}
+
+// TestPlaceBackEndSkipsDeadParents: dead internal processes are never
+// placement candidates.
+func TestPlaceBackEndSkipsDeadParents(t *testing.T) {
+	nw := splitEcho(t, "kary:2^2", 0)
+	defer nw.Shutdown()
+	if err := nw.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Adopt(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := nw.PlaceBackEnd(Placement{
+		Scores:   map[Rank]float64{1: 0.0, 2: 9.0}, // dead rank 1 "coldest"
+		ScoresAt: time.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.LiveParent(r); got != 2 {
+		t.Errorf("placed under %d, want 2 (rank 1 is dead)", got)
+	}
+}

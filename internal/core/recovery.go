@@ -65,7 +65,13 @@ type cmdSnapshot struct {
 // cmdAdopt installs orphan links as new child slots and rebuilds stream
 // routing/synchronizers from a fresh slot snapshot.
 type cmdAdopt struct {
-	deadSlot int              // the failed child's slot, fenced off (-1 none)
+	deadSlot int // the failed child's slot, fenced off (-1 none)
+	// vacated lists further child slots to fence off: a split migrated
+	// those children to the new sibling, so the donor must stop routing to
+	// them (SplitNode). Unlike deadSlot the children are alive — just
+	// elsewhere — which is why the fence rides the same adoption machinery
+	// that handles a dead child's slot.
+	vacated  []int
 	slots    []int            // child slot index per new link
 	links    []transport.Link // parent-side ends, index-aligned with slots
 	slotInfo []slotInfo       // full refreshed slot snapshot for the adopter
@@ -136,9 +142,15 @@ func (n *node) handleCmd(c nodeCmd, inbox chan inMsg) {
 		}
 		// The dead child's EOF may still be queued behind data: release any
 		// worker waiting on its window NOW, or it never reaches the quiesce
-		// barrier below.
+		// barrier below. Vacated (split-migrated) slots get the same
+		// treatment — their links are about to be fenced too.
 		if cmd.deadSlot >= 0 && cmd.deadSlot < len(n.childOut) {
 			n.childOut[cmd.deadSlot].releaseWaiters()
+		}
+		for _, s := range cmd.vacated {
+			if s >= 0 && s < len(n.childOut) {
+				n.childOut[s].releaseWaiters()
+			}
 		}
 		n.quiesceShards(func() {
 			applyAdoption(cmd, n.ep, n.nw.registry, n.installChild, states, n.flushBatches, inbox, n.ctrlLane, n.readStop)
@@ -262,6 +274,12 @@ func applyAdoption(c *cmdAdopt, ep *transport.Endpoint, reg *filter.Registry,
 	if c.deadSlot >= 0 && c.deadSlot < len(ep.Children) {
 		transport.DropLink(ep.Children[c.deadSlot])
 		install(c.deadSlot, nil)
+	}
+	for _, s := range c.vacated {
+		if s >= 0 && s < len(ep.Children) {
+			transport.DropLink(ep.Children[s])
+			install(s, nil)
+		}
 	}
 	for i, l := range c.links {
 		install(c.slots[i], l)

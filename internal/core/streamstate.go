@@ -163,7 +163,7 @@ func newStreamState(nw *Network, rank Rank, reg *filter.Registry,
 		members:    memberSet,
 		prio:       prio,
 	}
-	ss.rebuildSlots(nw.slotInfoAt(rank))
+	ss.rebuildSlots(nw.slotInfoAt(rank)) //tbon:allow mutationquiesce constructor: the stream is not yet published to any shard
 	return ss, nil
 }
 

@@ -52,6 +52,31 @@ func (v *liveView) addLeaf(parent Rank) (Rank, int) {
 	return r, slot
 }
 
+// addInternal registers a dynamically spawned communication process under
+// parent (a split sibling; see SplitNode) and returns its rank and the
+// child-slot index it occupies at the parent.
+func (v *liveView) addInternal(parent Rank) (Rank, int) {
+	r := Rank(len(v.parent))
+	v.parent = append(v.parent, parent)
+	v.children = append(v.children, nil)
+	v.dead = append(v.dead, false)
+	v.backend = append(v.backend, false)
+	slot := len(v.children[parent])
+	v.children[parent] = append(v.children[parent], r)
+	return r, slot
+}
+
+// liveChildCount returns how many of r's child slots hold live children.
+func (v *liveView) liveChildCount(r Rank) int {
+	n := 0
+	for _, c := range v.children[r] {
+		if c != topology.NoRank && !v.dead[c] {
+			n++
+		}
+	}
+	return n
+}
+
 // adopt marks failed dead and re-parents its live children onto newParent,
 // appending one child slot per orphan. It returns the orphans in slot order
 // and the slot indices they occupy at newParent.

@@ -117,6 +117,55 @@ func TestChaosSeededSchedules(t *testing.T) {
 	}
 }
 
+// TestMutationChaos is the elastic-topology extension of the sweep:
+// seeded schedules interleaving crash-failures with topology mutations —
+// splits that reshape a subtree while packets are in flight, merges that
+// fold a router through the recovery path — must still hold the PR 7
+// delivery invariant (zero lost, zero duplicated) on both fabrics.
+func TestMutationChaos(t *testing.T) {
+	tree, err := topology.ParseSpec("kary:2^3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string]int{"chan": 20, "tcp": 10}
+	if testing.Short() {
+		seeds = map[string]int{"chan": 4, "tcp": 2}
+	}
+	for name, kind := range chaosFabrics {
+		kind := kind
+		t.Run(name, func(t *testing.T) {
+			for seed := 0; seed < seeds[name]; seed++ {
+				sched := GenMutationSchedule(tree, int64(seed))
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					t.Parallel()
+					res, err := RunChaos(ChaosConfig{
+						Spec:        "kary:2^3",
+						Transport:   kind,
+						ExactlyOnce: true,
+						Schedule:    sched,
+					})
+					if err != nil {
+						t.Fatalf("%v: %v", sched, err)
+					}
+					if !res.Ok() {
+						min := Shrink(sched, func(s Schedule) bool {
+							r, err := RunChaos(ChaosConfig{
+								Spec:        "kary:2^3",
+								Transport:   kind,
+								ExactlyOnce: true,
+								Schedule:    s,
+							})
+							return err == nil && !r.Ok()
+						})
+						t.Fatalf("%v broke the invariant: %v\nminimal repro: %v\nlost: %.10v\nduplicated: %.10v",
+							sched, res, min, res.Lost, res.Duplicated)
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestShrinkMinimizesSchedules exercises the shrinker against a synthetic
 // failure predicate: only one of three events matters, and shrinking must
 // isolate it.

@@ -23,18 +23,35 @@ type KillEvent struct {
 	After  time.Duration
 }
 
-// Schedule is an ordered kill plan. Events with close offsets produce
-// overlapping failures (a second death while the first adoption is in
-// flight, or a parent and child dead at once).
+// MutationEvent reshapes the live topology at an offset: "split" grows a
+// sibling for Victim and migrates half its children, "merge" folds Victim
+// into its parent (a controlled kill through the recovery path). Mutation
+// failures are tolerated — the schedule may have already crashed the
+// victim, and a split racing a kill is exactly the interleaving under
+// test — but a merge's kill is always driven to recovery so no subtree is
+// left dark.
+type MutationEvent struct {
+	Kind   string // "split" | "merge"
+	Victim core.Rank
+	After  time.Duration
+}
+
+// Schedule is an ordered kill-and-mutation plan. Events with close
+// offsets produce overlapping failures (a second death while the first
+// adoption is in flight, a split racing the donor's crash).
 type Schedule struct {
-	Seed  int64
-	Kills []KillEvent
+	Seed      int64
+	Kills     []KillEvent
+	Mutations []MutationEvent
 }
 
 func (s Schedule) String() string {
-	parts := make([]string, len(s.Kills))
-	for i, k := range s.Kills {
-		parts[i] = fmt.Sprintf("kill %d@%v", k.Victim, k.After)
+	parts := make([]string, 0, len(s.Kills)+len(s.Mutations))
+	for _, k := range s.Kills {
+		parts = append(parts, fmt.Sprintf("kill %d@%v", k.Victim, k.After))
+	}
+	for _, m := range s.Mutations {
+		parts = append(parts, fmt.Sprintf("%s %d@%v", m.Kind, m.Victim, m.After))
 	}
 	return fmt.Sprintf("seed %d: [%s]", s.Seed, strings.Join(parts, ", "))
 }
@@ -80,22 +97,104 @@ func GenSchedule(tree *topology.Tree, seed int64) Schedule {
 	return Schedule{Seed: seed, Kills: kills}
 }
 
-// execute runs the schedule: kill each victim at its offset, then recover
-// every victim shallowest-first (an orphaned subtree's own failure is
-// only recoverable after its parent's), retrying while adoptions race.
-func (s Schedule) execute(nw *core.Network, mgr *recovery.Manager, tree *topology.Tree) error {
-	start := time.Now()
+// GenMutationSchedule derives a combined kill-and-mutation plan from
+// seed: the kills of GenSchedule plus one or two topology mutations on
+// internal processes the kill plan leaves alone — a kill and a merge of
+// the same rank would just be the kill twice, while disjoint victims
+// force the split/merge machinery to run concurrently with genuine
+// failures.
+func GenMutationSchedule(tree *topology.Tree, seed int64) Schedule {
+	s := GenSchedule(tree, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x6d757461))
+	killed := map[core.Rank]bool{}
 	for _, k := range s.Kills {
-		if wait := k.After - time.Since(start); wait > 0 {
-			time.Sleep(wait)
-		}
-		if err := nw.Kill(k.Victim); err != nil {
-			return fmt.Errorf("chaos: kill %d: %w", k.Victim, err)
+		killed[k.Victim] = true
+	}
+	var free []core.Rank
+	for _, r := range tree.InternalNodes() {
+		if !killed[r] {
+			free = append(free, r)
 		}
 	}
-	victims := make([]core.Rank, len(s.Kills))
-	for i, k := range s.Kills {
-		victims[i] = k.Victim
+	n := 1 + rng.Intn(2)
+	for _, i := range rng.Perm(len(free)) {
+		if len(s.Mutations) >= n {
+			break
+		}
+		kind := "split"
+		if rng.Intn(2) == 1 {
+			kind = "merge"
+		}
+		s.Mutations = append(s.Mutations, MutationEvent{
+			Kind:   kind,
+			Victim: free[i],
+			After:  time.Duration(rng.Intn(80)) * time.Millisecond,
+		})
+	}
+	sort.Slice(s.Mutations, func(i, j int) bool { return s.Mutations[i].After < s.Mutations[j].After })
+	return s
+}
+
+// execute runs the schedule as one timeline: kills and mutations fire in
+// offset order against the streaming overlay, then every rank left dead —
+// kill victims plus merges whose inline fold could not complete — is
+// recovered shallowest-first (an orphaned subtree's own failure is only
+// recoverable after its parent's), retrying while adoptions race.
+//
+// Splits are best-effort: the donor may already be dead or mid-recovery,
+// and that race is exactly the interleaving under test. A merge is a
+// controlled kill driven through the manager, so its bookkeeping stays
+// consistent with the fold; when the inline recovery loses a race (the
+// victim's parent is itself dead until the final pass), the victim joins
+// the final pass instead of leaving a dark subtree.
+func (s Schedule) execute(nw *core.Network, mgr *recovery.Manager, tree *topology.Tree) error {
+	type event struct {
+		after time.Duration
+		kill  *KillEvent
+		mut   *MutationEvent
+	}
+	evs := make([]event, 0, len(s.Kills)+len(s.Mutations))
+	for i := range s.Kills {
+		evs = append(evs, event{after: s.Kills[i].After, kill: &s.Kills[i]})
+	}
+	for i := range s.Mutations {
+		evs = append(evs, event{after: s.Mutations[i].After, mut: &s.Mutations[i]})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].after < evs[j].after })
+
+	start := time.Now()
+	var victims []core.Rank
+	seen := map[core.Rank]bool{}
+	addVictim := func(r core.Rank) {
+		if !seen[r] {
+			seen[r] = true
+			victims = append(victims, r)
+		}
+	}
+	for _, e := range evs {
+		if wait := e.after - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		switch {
+		case e.kill != nil:
+			if err := nw.Kill(e.kill.Victim); err != nil {
+				return fmt.Errorf("chaos: kill %d: %w", e.kill.Victim, err)
+			}
+			addVictim(e.kill.Victim)
+		case e.mut.Kind == "split":
+			_, _ = nw.SplitNode(e.mut.Victim)
+		case e.mut.Kind == "merge":
+			if seen[e.mut.Victim] {
+				continue // already crashed by an earlier kill event
+			}
+			nw.CheckpointNow()
+			if err := nw.Kill(e.mut.Victim); err != nil {
+				continue // raced another failure; the kill path owns it
+			}
+			if _, err := mgr.Recover(e.mut.Victim); err != nil {
+				addVictim(e.mut.Victim)
+			}
+		}
 	}
 	sort.Slice(victims, func(i, j int) bool {
 		return tree.Node(victims[i]).Level < tree.Node(victims[j]).Level
@@ -115,16 +214,38 @@ func (s Schedule) execute(nw *core.Network, mgr *recovery.Manager, tree *topolog
 	return nil
 }
 
-// Shrink minimizes a failing schedule by greedy deletion: drop one kill
-// event at a time, re-run, and keep the deletion whenever the invariant
-// still breaks. fails must re-execute the harness with the given
-// schedule and report whether it still violates the invariant.
+// Shrink minimizes a failing schedule by greedy deletion: drop one event
+// — kill or mutation — at a time, re-run, and keep the deletion whenever
+// the invariant still breaks. fails must re-execute the harness with the
+// given schedule and report whether it still violates the invariant.
 func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(s.Kills); i++ {
-			cand := Schedule{Seed: s.Seed, Kills: append(append([]KillEvent{}, s.Kills[:i]...), s.Kills[i+1:]...)}
-			if len(cand.Kills) == 0 {
+			cand := Schedule{
+				Seed:      s.Seed,
+				Kills:     append(append([]KillEvent{}, s.Kills[:i]...), s.Kills[i+1:]...),
+				Mutations: s.Mutations,
+			}
+			if len(cand.Kills)+len(cand.Mutations) == 0 {
+				continue
+			}
+			if fails(cand) {
+				s = cand
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		for i := 0; i < len(s.Mutations); i++ {
+			cand := Schedule{
+				Seed:      s.Seed,
+				Kills:     s.Kills,
+				Mutations: append(append([]MutationEvent{}, s.Mutations[:i]...), s.Mutations[i+1:]...),
+			}
+			if len(cand.Kills)+len(cand.Mutations) == 0 {
 				continue
 			}
 			if fails(cand) {

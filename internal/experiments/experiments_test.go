@@ -493,3 +493,54 @@ func TestExactlyOnceAblationShape(t *testing.T) {
 	}
 	t.Logf("\n%s", ExactlyOnceTable(cfg, rows))
 }
+
+// TestElasticAblationShape is the elastic smoke: a scaled-down skewed
+// run on the chan fabric where the controller must beat (or at worst
+// match) the static tree on sustained throughput, mutate at least once
+// under skew, mutate never under uniform load, and lose nothing on the
+// exactly-once fabric throughout.
+func TestElasticAblationShape(t *testing.T) {
+	cfg := ElasticConfig{
+		Spec:        "kary:4^2",
+		HotQuota:    1200,
+		ColdBurst:   1,
+		Window:      8,
+		Transport:   core.ChanTransport,
+		Period:      30 * time.Millisecond,
+		Cooldown:    120 * time.Millisecond,
+		UniformSecs: 1,
+		SplitAbove:  1.7,
+		Timeout:     60 * time.Second,
+	}
+	rows, err := RunElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byMode := map[string]ElasticRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if r.Lost != 0 {
+			t.Errorf("%s arm lost %d packets on the exactly-once fabric", r.Mode, r.Lost)
+		}
+		if r.Delivered == 0 || r.RatePkts <= 0 {
+			t.Errorf("%s arm delivered nothing: %+v", r.Mode, r)
+		}
+	}
+	st, el, un := byMode["static"], byMode["elastic"], byMode["uniform"]
+	if st.Splits != 0 || st.Merges != 0 {
+		t.Errorf("static arm mutated: %+v", st)
+	}
+	if el.Splits == 0 {
+		t.Errorf("elastic arm never split under skew: %+v", el)
+	}
+	if el.RatePkts < st.RatePkts {
+		t.Errorf("elastic %.0f pkts/s below static %.0f", el.RatePkts, st.RatePkts)
+	}
+	if un.Splits != 0 || un.Merges != 0 {
+		t.Errorf("uniform load mutated the tree: %+v", un)
+	}
+	t.Logf("\n%s", ElasticTable(cfg, rows))
+}

@@ -43,10 +43,10 @@ var acquireNames = map[string]bool{
 
 // releases give a credit (or its budget stamp) back without sending.
 var releases = map[string]bool{
-	"Refund":          true,
-	"RefundBudgeted":  true,
-	"Release":         true,
-	"Abort":           true,
+	"Refund":         true,
+	"RefundBudgeted": true,
+	"Release":        true,
+	"Abort":          true,
 }
 
 // consumes spend the credit on the wire (directly or by enqueueing into an

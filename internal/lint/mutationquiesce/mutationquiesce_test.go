@@ -1,0 +1,11 @@
+package mutationquiesce
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMutationQuiesce(t *testing.T) {
+	linttest.Run(t, Analyzer, "mutationquiesce")
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lint/creditpair"
 	"repro/internal/lint/ctrlfifo"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/mutationquiesce"
 	"repro/internal/lint/poolrelease"
 	"repro/internal/lint/seqstamp"
 )
@@ -23,5 +24,6 @@ func All() []*lint.Analyzer {
 		seqstamp.Analyzer,
 		ctrlfifo.Analyzer,
 		poolrelease.Analyzer,
+		mutationquiesce.Analyzer,
 	}
 }

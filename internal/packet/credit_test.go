@@ -10,8 +10,8 @@ import (
 // the reverse path depends on.
 func TestCreditGrantRoundTrip(t *testing.T) {
 	for _, tc := range []struct {
-		n    uint32
-		cum  uint64
+		n   uint32
+		cum uint64
 	}{
 		{1, 0},
 		{7, 7},
